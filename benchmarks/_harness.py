@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result.
+
+    The simulations are deterministic; a single round both times the
+    experiment and produces the data for the printed report.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a report block so it appears in the pytest output (-s or summary)."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    print(body)

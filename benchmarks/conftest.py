@@ -1,0 +1,15 @@
+"""Path bootstrap for the benchmark harness.
+
+Makes ``repro`` importable straight from a source checkout (mirrors the
+top-level conftest) and ensures the helper module ``_harness`` resolves.
+"""
+
+import os
+import sys
+
+_HERE = os.path.dirname(__file__)
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)

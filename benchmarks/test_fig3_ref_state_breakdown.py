@@ -1,0 +1,28 @@
+"""Figure 3 — execution-state breakdown of the reference machine.
+
+The paper plots, for hydro2d and dyfesm, how many cycles the in-order
+machine spends in each (FU2, FU1, MEM) busy/idle state as the main-memory
+latency grows from 1 to 100 cycles.
+"""
+
+from _harness import emit, run_once
+
+from repro.analysis import report_state_breakdown
+from repro.core.experiments import figure3_reference_state_breakdown
+
+
+def test_fig3_reference_state_breakdown(benchmark):
+    results = run_once(benchmark, figure3_reference_state_breakdown)
+    emit("Figure 3: reference-architecture state breakdown (per memory latency)",
+         report_state_breakdown(results))
+
+    for program, per_latency in results.items():
+        # Cycle counts must grow with memory latency on the in-order machine.
+        totals = {lat: sum(b.values()) for lat, b in per_latency.items()}
+        latencies = sorted(totals)
+        assert totals[latencies[-1]] > totals[latencies[0]], program
+        # The all-idle state < , , > must grow as latency grows: that is the
+        # exposed-latency effect the paper highlights.
+        idle_state = (False, False, False)
+        assert per_latency[latencies[-1]].get(idle_state, 0) >= \
+            per_latency[latencies[0]].get(idle_state, 0), program

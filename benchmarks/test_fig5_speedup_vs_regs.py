@@ -1,0 +1,27 @@
+"""Figure 5 — OOOVA speedup over the reference machine vs physical registers."""
+
+from _harness import emit, run_once
+
+from repro.analysis import report_speedup_curves
+from repro.core.config import REGISTER_SWEEP
+from repro.core.experiments import figure5_speedup_vs_registers
+
+
+def test_fig5_speedup_vs_registers(benchmark):
+    results = run_once(benchmark, figure5_speedup_vs_registers)
+    emit("Figure 5: OOOVA speedup over REF vs number of physical vector registers",
+         report_speedup_curves(results, REGISTER_SWEEP))
+
+    for program, data in results.items():
+        curve = data["curves"]["OOOVA-16"]
+        # Out-of-order issue plus renaming beats the in-order machine once a
+        # handful of extra registers are available (paper: 1.24-1.72 at 16).
+        assert curve[16] > 1.1, (program, curve[16])
+        # More registers never hurt, and the gains flatten past 16 registers.
+        assert curve[64] >= curve[16] - 0.02, program
+        assert curve[16] - curve[9] >= curve[64] - curve[32] - 0.05, program
+        # The IDEAL bound is an upper bound on every measured speedup.
+        assert data["ideal"] >= curve[64] - 0.02, program
+        # Deeper (128-entry) queues give little extra benefit (Section 4.2).
+        curve128 = data["curves"]["OOOVA-128"]
+        assert abs(curve128[16] - curve[16]) / curve[16] < 0.25, program

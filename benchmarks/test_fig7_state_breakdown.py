@@ -1,0 +1,26 @@
+"""Figure 7 — execution-state breakdown: reference versus OOOVA."""
+
+from _harness import emit, run_once
+
+from repro.analysis import report_state_breakdown
+from repro.core.experiments import figure7_state_breakdown_comparison
+
+
+def test_fig7_state_breakdown_comparison(benchmark):
+    results = run_once(benchmark, figure7_state_breakdown_comparison)
+    emit("Figure 7: state breakdown, REF (left) vs OOOVA (right); 16 registers, latency 50",
+         report_state_breakdown(results))
+
+    all_idle = (False, False, False)
+    fully_busy = (True, True, True)
+    for program, row in results.items():
+        ref_total = sum(row["REF"].values())
+        ooo_total = sum(row["OOOVA"].values())
+        ref_idle = row["REF"].get(all_idle, 0) / ref_total
+        ooo_idle = row["OOOVA"].get(all_idle, 0) / ooo_total
+        # The all-idle state "has almost disappeared" on the OOOVA.
+        assert ooo_idle <= ref_idle + 0.02, program
+        # The fully-utilised state becomes relatively more frequent.
+        ref_busy = row["REF"].get(fully_busy, 0) / ref_total
+        ooo_busy = row["OOOVA"].get(fully_busy, 0) / ooo_total
+        assert ooo_busy >= ref_busy - 0.02, program

@@ -1,0 +1,35 @@
+"""Figure 9 — early versus late (precise-trap) commit models."""
+
+from _harness import emit, run_once
+
+from repro.analysis import format_table
+from repro.core.config import REGISTER_SWEEP
+from repro.core.experiments import figure9_commit_models
+
+
+def test_fig9_commit_models(benchmark):
+    results = run_once(benchmark, figure9_commit_models)
+    rows = []
+    for program, curves in results.items():
+        for label in ("early", "late"):
+            rows.append([program, label] + [curves[label][r] for r in REGISTER_SWEEP])
+    emit("Figure 9: speedup over REF under the early and late commit models",
+         format_table(["program", "commit"] + [str(r) for r in REGISTER_SWEEP], rows))
+
+    degradations = {}
+    for program, curves in results.items():
+        early, late = curves["early"][16], curves["late"][16]
+        # Late commit never speeds a program up.
+        assert late <= early + 0.02, program
+        degradations[program] = 1.0 - late / early
+
+    # The two programs with tight store->load recurrences (trfd, dyfesm) pay
+    # by far the largest precise-trap penalty, as in the paper (41% / 47%).
+    worst_two = sorted(degradations, key=degradations.get, reverse=True)[:2]
+    assert set(worst_two) == {"trfd", "dyfesm"}, degradations
+    assert degradations["trfd"] > 0.15
+    assert degradations["dyfesm"] > 0.15
+    # Most other programs lose comparatively little.
+    mild = [name for name, d in degradations.items()
+            if name not in ("trfd", "dyfesm") and d < 0.20]
+    assert len(mild) >= 5, degradations

@@ -1,0 +1,15 @@
+"""Table 1 — functional-unit latencies of the reference and OOOVA machines."""
+
+from _harness import emit, run_once
+
+from repro.analysis import format_table
+from repro.core.experiments import table1_functional_unit_latencies
+
+
+def test_table1_functional_unit_latencies(benchmark):
+    latencies = run_once(benchmark, table1_functional_unit_latencies)
+    rows = sorted(latencies.items())
+    emit("Table 1: functional unit latencies (cycles)",
+         format_table(["unit / operation", "latency"], rows))
+    assert latencies["div"] > latencies["add"]
+    assert latencies["mul"] >= latencies["logical"]

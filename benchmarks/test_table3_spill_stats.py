@@ -1,0 +1,21 @@
+"""Table 3 — vector memory spill operations per program."""
+
+from _harness import emit, run_once
+
+from repro.analysis import report_table3
+from repro.core.experiments import table3_spill_statistics
+
+
+def test_table3_spill_statistics(benchmark):
+    rows = run_once(benchmark, table3_spill_statistics)
+    emit("Table 3: vector memory spill operations", report_table3(rows))
+    # bdna is the spill-dominated program of the suite (69% of its traffic in
+    # the paper); it must carry by far the largest spill share here as well.
+    def spill_share(row):
+        total = row["vector_load_ops"] + row["vector_store_ops"]
+        spill = row["vector_load_spill_ops"] + row["vector_store_spill_ops"]
+        return spill / total if total else 0.0
+
+    shares = {name: spill_share(row) for name, row in rows.items()}
+    assert shares["bdna"] == max(shares.values())
+    assert shares["bdna"] > 0.3

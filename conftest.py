@@ -1,0 +1,17 @@
+"""Pytest path bootstrap.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. running the test suite straight from a source checkout on an
+offline machine).  When ``repro`` is already installed — the normal case
+after ``pip install -e .`` — this is a no-op.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)

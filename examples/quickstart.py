@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the in-order reference machine with the OOOVA.
+
+This reproduces, for a single program, the paper's headline claim: adding
+register renaming and out-of-order issue to a traditional vector processor
+gives a substantial speedup (1.24-1.72 at 16 physical vector registers) and
+keeps the memory port busy a much larger fraction of the time.
+
+Run it with::
+
+    python examples/quickstart.py [program]
+
+where ``program`` is one of the ten benchmark names (default: trfd).
+"""
+
+import sys
+
+from repro.core import ooo_config, reference_config, run
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+
+def main() -> int:
+    program = sys.argv[1] if len(sys.argv) > 1 else "trfd"
+    if program not in WORKLOAD_NAMES:
+        print(f"unknown program {program!r}; choose from: {', '.join(WORKLOAD_NAMES)}")
+        return 1
+
+    workload = get_workload(program)
+    print(f"Program: {program} ({workload.characteristics.description})")
+    stats = workload.statistics()
+    print(f"  dynamic instructions : {stats.total_instructions}")
+    print(f"  vectorisation        : {stats.vectorization_percent:.1f}%")
+    print(f"  average vector length: {stats.average_vector_length:.1f}")
+    print()
+
+    reference = run(workload, reference_config())
+    print(f"Reference (in-order C3400-like) machine: {reference.cycles} cycles, "
+          f"memory port idle {100 * reference.stats.memory_port_idle_fraction():.1f}% of the time")
+
+    for regs in (9, 16, 32, 64):
+        ooo = run(workload, ooo_config(phys_vregs=regs))
+        print(f"OOOVA with {regs:>2} physical vector registers: {ooo.cycles:>9} cycles "
+              f"(speedup {ooo.speedup_over(reference):.2f}, "
+              f"port idle {100 * ooo.stats.memory_port_idle_fraction():.1f}%)")
+
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Post-processing and report formatting for experiment results."""
+
+from repro.analysis.report import (
+    format_table,
+    report_latency_tolerance,
+    report_port_idle,
+    report_simple_curves,
+    report_speedup_curves,
+    report_state_breakdown,
+    report_table2,
+    report_table3,
+    report_traffic_reduction,
+)
+
+__all__ = [
+    "format_table",
+    "report_latency_tolerance",
+    "report_port_idle",
+    "report_simple_curves",
+    "report_speedup_curves",
+    "report_state_breakdown",
+    "report_table2",
+    "report_table3",
+    "report_traffic_reduction",
+]

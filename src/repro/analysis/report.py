@@ -1,0 +1,144 @@
+"""ASCII report formatting for the experiment results.
+
+The benchmark harness prints these tables so that a single
+``pytest benchmarks/ --benchmark-only`` run reproduces, in text form, every
+table and figure of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.common.stats import format_state
+from repro.trace.stats import TraceStatistics
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def report_table2(stats: Mapping[str, TraceStatistics]) -> str:
+    """Table 2-style program statistics."""
+    rows = [
+        [
+            name,
+            st.scalar_instructions + st.branch_instructions,
+            st.vector_instructions,
+            st.vector_operations,
+            st.vectorization_percent,
+            st.average_vector_length,
+        ]
+        for name, st in stats.items()
+    ]
+    return format_table(
+        ["program", "scalar", "vector", "vector ops", "%vect", "avg VL"],
+        rows,
+        title="Table 2: basic operation counts",
+    )
+
+
+def report_table3(rows_by_program: Mapping[str, Mapping[str, int]]) -> str:
+    """Table 3-style spill-operation counts."""
+    rows = [
+        [
+            name,
+            row["vector_load_ops"],
+            row["vector_load_spill_ops"],
+            row["vector_store_ops"],
+            row["vector_store_spill_ops"],
+        ]
+        for name, row in rows_by_program.items()
+    ]
+    return format_table(
+        ["program", "vload ops", "vload spill", "vstore ops", "vstore spill"],
+        rows,
+        title="Table 3: vector memory spill operations",
+    )
+
+
+def report_state_breakdown(
+    breakdowns: Mapping[str, Mapping], column_order: Sequence | None = None
+) -> str:
+    """Figures 3/7-style execution-state breakdown (one column per run)."""
+    lines = []
+    for program, columns in breakdowns.items():
+        lines.append(f"{program}:")
+        for column, breakdown in columns.items():
+            total = sum(breakdown.values()) or 1
+            parts = []
+            for state in sorted(breakdown, reverse=True):
+                share = 100.0 * breakdown[state] / total
+                if share >= 0.5:
+                    parts.append(f"{format_state(state)} {share:.0f}%")
+            lines.append(f"  {column}: " + ", ".join(parts))
+    return "\n".join(lines)
+
+
+def report_speedup_curves(results: Mapping[str, Mapping], register_counts: Sequence[int]) -> str:
+    """Figure 5/9-style speedup-versus-registers curves."""
+    headers = ["program", "curve"] + [str(r) for r in register_counts] + ["IDEAL"]
+    rows = []
+    for program, data in results.items():
+        ideal = data.get("ideal", "")
+        for curve_name, curve in data["curves"].items():
+            rows.append([program, curve_name] + [curve.get(r, "") for r in register_counts]
+                        + [ideal if curve_name.endswith("16") else ""])
+    return format_table(headers, rows, title="Speedup over the reference architecture")
+
+
+def report_simple_curves(results: Mapping[str, Mapping[int, float]], xs: Sequence[int],
+                         title: str) -> str:
+    """Generic per-program curve table (Figures 11 and 12)."""
+    headers = ["program"] + [str(x) for x in xs]
+    rows = [[program] + [curve.get(x, "") for x in xs] for program, curve in results.items()]
+    return format_table(headers, rows, title=title)
+
+
+def report_latency_tolerance(results: Mapping[str, Mapping[str, Mapping[int, int]]],
+                             latencies: Sequence[int]) -> str:
+    """Figure 8-style execution time versus memory latency."""
+    headers = ["program", "machine"] + [f"lat={lat}" for lat in latencies]
+    rows = []
+    for program, machines in results.items():
+        for machine, curve in machines.items():
+            rows.append([program, machine] + [curve.get(lat, "") for lat in latencies])
+    return format_table(headers, rows, title="Execution time (cycles) vs memory latency")
+
+
+def report_port_idle(results: Mapping[str, Mapping], title: str) -> str:
+    """Figures 4/6-style memory-port idle percentages."""
+    sample = next(iter(results.values()))
+    columns = list(sample)
+    headers = ["program"] + [str(c) for c in columns]
+    rows = []
+    for program, row in results.items():
+        rows.append([program] + [100.0 * row[c] for c in columns])
+    return format_table(headers, rows, title=title + " (% idle cycles)")
+
+
+def report_traffic_reduction(results: Mapping[str, Mapping[str, float]]) -> str:
+    """Figure 13-style traffic-reduction ratios."""
+    headers = ["program", "SLE", "SLE+VLE"]
+    rows = [[name, row["SLE"], row["SLE+VLE"]] for name, row in results.items()]
+    return format_table(headers, rows, title="Traffic reduction (baseline requests / requests)")

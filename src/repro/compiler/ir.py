@@ -1,0 +1,378 @@
+"""Kernel intermediate representation.
+
+Workloads (re-creations of the paper's ten benchmark programs) are written
+against this small loop-nest IR.  The compiler pipeline lowers it to the
+vector ISA: strip-mining to the 128-element vector length, vector code
+generation, register allocation over the 8 architected registers of each
+class (inserting spill code when pressure is too high — the source of the
+spill traffic studied in Section 6 / Table 3) and finally emission of a
+:class:`repro.isa.program.Program`.
+
+The IR deliberately models only what drives the paper's results:
+
+* vector loops over arrays (unit-stride, strided and indexed accesses),
+* expression trees whose width controls vector-register pressure,
+* scalar work and outer loops, which control the scalar/vector mix,
+  branch behaviour and loop-carried memory dependences,
+* subroutine calls, which exercise the return-address stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from repro.common.errors import CompilationError
+
+_array_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Array:
+    """A named region of 64-bit elements in memory.
+
+    The base address is assigned by the memory layout pass; workloads only
+    give a name and a size.
+    """
+
+    name: str
+    elements: int
+    uid: int = field(default_factory=lambda: next(_array_ids))
+
+    def __post_init__(self) -> None:
+        if self.elements <= 0:
+            raise CompilationError(f"array {self.name!r} must have a positive size")
+
+    @property
+    def bytes(self) -> int:
+        return self.elements * 8
+
+    def ref(self, offset: int = 0, stride: int = 1) -> "ArrayRef":
+        """Reference this array inside a vector loop: ``array[offset + i*stride]``."""
+        return ArrayRef(self, offset=offset, stride=stride)
+
+    def gather(self, index: "ArrayRef") -> "GatherRef":
+        """Indexed (gather) reference: ``array[index[i]]``."""
+        return GatherRef(self, index)
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of vector expressions evaluated element-wise in a loop."""
+
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", as_expr(other), self)
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """``array[offset + i * stride]`` for loop index ``i`` (both in elements)."""
+
+    array: Array
+    offset: int = 0
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stride == 0:
+            raise CompilationError(f"array reference to {self.array.name!r} has zero stride")
+
+
+@dataclass(frozen=True)
+class GatherRef(Expr):
+    """``array[index[i]]`` — an indexed load (vector gather)."""
+
+    array: Array
+    index: ArrayRef
+
+
+@dataclass(frozen=True)
+class ScalarOperand(Expr):
+    """A loop-invariant scalar broadcast across the vector operation."""
+
+    name: str
+    value: float = 1.0
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal broadcast across the vector operation."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """An element-wise binary operation (``+ - * / min max``)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/", "min", "max"):
+            raise CompilationError(f"unsupported binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """An element-wise unary operation (``sqrt``, ``neg``, ``abs``)."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("sqrt", "neg", "abs"):
+            raise CompilationError(f"unsupported unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """An element-wise comparison producing a vector mask."""
+
+    cond: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.cond not in ("eq", "ne", "lt", "le", "gt", "ge"):
+            raise CompilationError(f"unsupported comparison {self.cond!r}")
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Masked merge: ``where(cond, if_true, if_false)`` element-wise."""
+
+    cond: Compare
+    if_true: Expr
+    if_false: Expr
+
+
+ExprLike = Union[Expr, int, float]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce Python numbers into :class:`Const` expressions."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise CompilationError(f"cannot use {value!r} as a vector expression")
+
+
+def sqrt(value: ExprLike) -> UnaryOp:
+    return UnaryOp("sqrt", as_expr(value))
+
+
+def vmin(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return BinOp("min", as_expr(lhs), as_expr(rhs))
+
+
+def vmax(lhs: ExprLike, rhs: ExprLike) -> BinOp:
+    return BinOp("max", as_expr(lhs), as_expr(rhs))
+
+
+def where(cond: Compare, if_true: ExprLike, if_false: ExprLike) -> Select:
+    return Select(cond, as_expr(if_true), as_expr(if_false))
+
+
+def compare(cond: str, lhs: ExprLike, rhs: ExprLike) -> Compare:
+    return Compare(cond, as_expr(lhs), as_expr(rhs))
+
+
+# --------------------------------------------------------------------------
+# statements and kernel items
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VectorAssign:
+    """``target[offset + i*stride] = expr`` for every element of the loop."""
+
+    target: Union[ArrayRef, GatherRef]
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """``scalar += sum_i expr`` — a reduction into a named scalar accumulator."""
+
+    expr: Expr
+    name: str
+
+
+VectorStatement = Union[VectorAssign, Reduce]
+
+
+@dataclass(frozen=True)
+class VectorLoop:
+    """A vectorisable loop over ``trip`` elements containing vector statements.
+
+    The compiler strip-mines the loop into chunks of at most 128 elements
+    (the hardware vector length); ``max_vl`` can lower that bound to model
+    programs whose natural vector length is short (the paper's trfd and
+    dyfesm have average vector lengths far below 128).
+    """
+
+    name: str
+    trip: int
+    statements: tuple[VectorStatement, ...]
+    max_vl: int = 128
+
+    def __post_init__(self) -> None:
+        if self.trip <= 0:
+            raise CompilationError(f"vector loop {self.name!r} must have a positive trip count")
+        if not 1 <= self.max_vl <= 128:
+            raise CompilationError(f"vector loop {self.name!r} has invalid max_vl {self.max_vl}")
+        if not self.statements:
+            raise CompilationError(f"vector loop {self.name!r} has no statements")
+
+
+@dataclass(frozen=True)
+class ScalarWork:
+    """Purely scalar computation: ALU operations, loads and stores.
+
+    Used to model the non-vectorised parts of a program (address set-up,
+    convergence tests, scalar-heavy routines) which determine the percentage
+    of vectorisation reported in Table 2.
+    """
+
+    name: str
+    alu_ops: int = 0
+    mul_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    #: distinct memory words the scalar loads/stores touch (round-robin)
+    footprint: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.alu_ops, self.mul_ops, self.loads, self.stores) < 0:
+            raise CompilationError(f"scalar work {self.name!r} has negative counts")
+        if self.footprint <= 0:
+            raise CompilationError(f"scalar work {self.name!r} needs a positive footprint")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """An outer (scalar) loop repeating its body ``count`` times."""
+
+    name: str
+    count: int
+    body: tuple["KernelItem", ...]
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise CompilationError(f"loop {self.name!r} must iterate at least once")
+        if not self.body:
+            raise CompilationError(f"loop {self.name!r} has an empty body")
+
+
+@dataclass(frozen=True)
+class CallRoutine:
+    """Call a named subroutine; exercises the call/return predictor."""
+
+    routine: "Routine"
+
+
+KernelItem = Union[VectorLoop, ScalarWork, Loop, CallRoutine]
+
+
+@dataclass(frozen=True)
+class Routine:
+    """A callable subroutine made of kernel items."""
+
+    name: str
+    body: tuple[KernelItem, ...]
+
+
+@dataclass
+class Kernel:
+    """A whole program in IR form: a name plus a sequence of kernel items."""
+
+    name: str
+    items: list[KernelItem] = field(default_factory=list)
+
+    def add(self, item: KernelItem) -> KernelItem:
+        self.items.append(item)
+        return item
+
+    def arrays(self) -> list[Array]:
+        """Every array referenced anywhere in the kernel, in first-use order."""
+        seen: dict[int, Array] = {}
+        for item in self.items:
+            _collect_arrays(item, seen)
+        return list(seen.values())
+
+
+def _collect_arrays(item: KernelItem, seen: dict[int, Array]) -> None:
+    if isinstance(item, VectorLoop):
+        for stmt in item.statements:
+            if isinstance(stmt, VectorAssign):
+                _collect_from_target(stmt.target, seen)
+                _collect_from_expr(stmt.expr, seen)
+            else:
+                _collect_from_expr(stmt.expr, seen)
+    elif isinstance(item, Loop):
+        for sub in item.body:
+            _collect_arrays(sub, seen)
+    elif isinstance(item, CallRoutine):
+        for sub in item.routine.body:
+            _collect_arrays(sub, seen)
+    # ScalarWork has its own private footprint array created at codegen time
+
+
+def _collect_from_target(target: Union[ArrayRef, GatherRef], seen: dict[int, Array]) -> None:
+    if isinstance(target, GatherRef):
+        _register_array(target.array, seen)
+        _register_array(target.index.array, seen)
+    else:
+        _register_array(target.array, seen)
+
+
+def _collect_from_expr(expr: Expr, seen: dict[int, Array]) -> None:
+    if isinstance(expr, ArrayRef):
+        _register_array(expr.array, seen)
+    elif isinstance(expr, GatherRef):
+        _register_array(expr.array, seen)
+        _register_array(expr.index.array, seen)
+    elif isinstance(expr, BinOp):
+        _collect_from_expr(expr.lhs, seen)
+        _collect_from_expr(expr.rhs, seen)
+    elif isinstance(expr, UnaryOp):
+        _collect_from_expr(expr.operand, seen)
+    elif isinstance(expr, Compare):
+        _collect_from_expr(expr.lhs, seen)
+        _collect_from_expr(expr.rhs, seen)
+    elif isinstance(expr, Select):
+        _collect_from_expr(expr.cond, seen)
+        _collect_from_expr(expr.if_true, seen)
+        _collect_from_expr(expr.if_false, seen)
+
+
+def _register_array(array: Array, seen: dict[int, Array]) -> None:
+    seen.setdefault(array.uid, array)

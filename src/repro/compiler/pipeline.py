@@ -1,0 +1,78 @@
+"""The compiler driver: IR kernel → architected-register Program.
+
+``compile_kernel`` runs the full pipeline — code generation, optional
+scheduling, vector and scalar register allocation — and assembles the final
+:class:`repro.isa.program.Program` that the trace generator executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CompilationError
+from repro.compiler.codegen import CodeGenerator, GeneratedCode, MemoryLayout, VInstr
+from repro.compiler.ir import Kernel
+from repro.compiler.regalloc import AllocationStats, allocate_registers
+from repro.compiler.scheduler import schedule_code
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.isa.registers import Register
+
+
+@dataclass(frozen=True)
+class CompilationResult:
+    """Everything the compiler produces for one kernel."""
+
+    program: Program
+    layout: MemoryLayout
+    allocation: AllocationStats
+    virtual_registers: dict
+
+    @property
+    def static_instructions(self) -> int:
+        return len(self.program)
+
+
+def compile_kernel(kernel: Kernel, scheduling: str = "asis") -> CompilationResult:
+    """Compile ``kernel`` down to an executable :class:`Program`."""
+    generator = CodeGenerator(kernel)
+    code = generator.generate()
+    schedule_code(code, scheduling)
+    allocation = allocate_registers(code)
+    program = assemble_program(code)
+    program.validate()
+    return CompilationResult(
+        program=program,
+        layout=code.layout,
+        allocation=allocation,
+        virtual_registers=code.virtual_counts,
+    )
+
+
+def assemble_program(code: GeneratedCode) -> Program:
+    """Convert fully allocated virtual code into a :class:`Program`."""
+    program = Program(code.name)
+    for vblock in code.blocks:
+        block = program.add_block(vblock.label)
+        for vinstr in vblock.instructions:
+            block.append(_to_instruction(vinstr, vblock.label))
+    return program
+
+
+def _to_instruction(vinstr: VInstr, label: str) -> Instruction:
+    for reg in vinstr.registers():
+        if not isinstance(reg, Register):
+            raise CompilationError(
+                f"instruction in block {label!r} still references virtual register {reg}"
+            )
+    return Instruction(
+        opcode=vinstr.opcode,
+        dest=vinstr.dest,
+        srcs=tuple(vinstr.srcs),
+        imm=vinstr.imm,
+        cond=vinstr.cond,
+        target=vinstr.target,
+        is_spill=vinstr.is_spill,
+        region_bytes=vinstr.region_bytes,
+        comment=vinstr.comment,
+    )

@@ -1,0 +1,488 @@
+"""Register allocation over the 8 architected registers of each class.
+
+Two allocators run in sequence:
+
+* :func:`allocate_vector_registers` — a per-basic-block allocator for V
+  registers.  Vector values never live across basic blocks (the code
+  generator recomputes them per strip-mine iteration), so allocation is
+  local.  When more than 8 vector values are live, the allocator spills the
+  value with the furthest next use to a spill slot and reloads it before its
+  next use.  Spill stores and reloads are marked ``is_spill`` — this is the
+  vector spill traffic of Table 3 and the target of dynamic vector load
+  elimination (Section 6).
+
+* :func:`allocate_scalar_registers` — a whole-program allocator for A and S
+  registers.  The most frequently used virtual scalars (weighted by loop
+  depth) receive architected registers; the rest become memory resident and
+  are reloaded/stored around every use through reserved scratch registers.
+  This reproduces the scalar-register starvation the paper identifies as one
+  of the limits on dynamic loop unrolling, and the scalar spill traffic that
+  scalar load elimination (SLE) removes.
+
+Architected register ``a7`` is reserved as the spill-area base pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import RegisterAllocationError
+from repro.common.params import MAX_VECTOR_LENGTH, NUM_ARCH_VREGS
+from repro.compiler.codegen import (
+    GeneratedCode,
+    SPILL_BASE_REGISTER,
+    VBlock,
+    VInstr,
+    VirtReg,
+)
+from repro.isa.instructions import ELEMENT_BYTES
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegClass, Register
+
+#: number of architected A registers usable by the allocator (a7 is reserved)
+USABLE_A_REGS = 7
+#: number of architected S registers usable by the allocator
+USABLE_S_REGS = 8
+#: scratch registers reserved per scalar class when values become memory resident
+SCALAR_SCRATCH_REGS = 2
+#: weight applied per loop-nesting level when ranking scalar virtual registers
+LOOP_DEPTH_WEIGHT = 8
+
+
+@dataclass
+class AllocationStats:
+    """Spill-code statistics produced by register allocation."""
+
+    vector_spill_stores: int = 0
+    vector_spill_loads: int = 0
+    scalar_spill_stores: int = 0
+    scalar_spill_loads: int = 0
+    memory_resident_scalars: int = 0
+    spilled_vector_values: int = 0
+    rematerialized_scalars: int = 0
+
+
+# ---------------------------------------------------------------------------
+# vector register allocation (per block)
+# ---------------------------------------------------------------------------
+
+
+def allocate_vector_registers(code: GeneratedCode, stats: AllocationStats) -> None:
+    """Rewrite every block so all V operands are architected registers."""
+    for block in code.blocks:
+        _allocate_vector_block(block, code, stats)
+
+
+def _allocate_vector_block(block: VBlock, code: GeneratedCode, stats: AllocationStats) -> None:
+    instructions = block.instructions
+    positions: dict[VirtReg, list[int]] = {}
+    for idx, instr in enumerate(instructions):
+        for reg in instr.registers():
+            if isinstance(reg, VirtReg) and reg.cls is RegClass.V:
+                positions.setdefault(reg, []).append(idx)
+
+    if not positions:
+        return
+
+    free = [Register(RegClass.V, i) for i in range(NUM_ARCH_VREGS)]
+    mapping: dict[VirtReg, Register] = {}
+    spill_slots: dict[VirtReg, int] = {}
+    spilled: set[VirtReg] = set()
+    output: list[VInstr] = []
+
+    def next_use(reg: VirtReg, after: int) -> int:
+        for pos in positions[reg]:
+            if pos > after:
+                return pos
+        return 1 << 30
+
+    def spill_slot(reg: VirtReg) -> int:
+        if reg not in spill_slots:
+            spill_slots[reg] = code.layout.allocate_spill_slot(
+                MAX_VECTOR_LENGTH * ELEMENT_BYTES
+            )
+        return spill_slots[reg]
+
+    def acquire(reg: VirtReg, idx: int, in_use: set[Register], need_reload: bool) -> Register:
+        """Map ``reg`` to an architected register, spilling a victim if needed."""
+        if free:
+            arch = free.pop(0)
+        else:
+            victim = _pick_victim(mapping, in_use, idx, next_use)
+            arch = mapping.pop(victim)
+            output.append(
+                VInstr(
+                    Opcode.VSTORE,
+                    srcs=(arch, SPILL_BASE_REGISTER),
+                    imm=spill_slot(victim),
+                    is_spill=True,
+                    comment=f"spill {victim}",
+                )
+            )
+            stats.vector_spill_stores += 1
+            stats.spilled_vector_values += 1
+            spilled.add(victim)
+        mapping[reg] = arch
+        if need_reload:
+            output.append(
+                VInstr(
+                    Opcode.VLOAD,
+                    dest=arch,
+                    srcs=(SPILL_BASE_REGISTER,),
+                    imm=spill_slot(reg),
+                    is_spill=True,
+                    comment=f"reload {reg}",
+                )
+            )
+            stats.vector_spill_loads += 1
+        return arch
+
+    for idx, instr in enumerate(instructions):
+        in_use: set[Register] = set()
+        new_srcs: list = []
+        for src in instr.srcs:
+            if isinstance(src, VirtReg) and src.cls is RegClass.V:
+                if src in mapping:
+                    arch = mapping[src]
+                elif src in spilled:
+                    arch = acquire(src, idx, in_use, need_reload=True)
+                    spilled.discard(src)
+                else:
+                    raise RegisterAllocationError(
+                        f"vector value {src} used before definition in block {block.label}"
+                    )
+                in_use.add(arch)
+                new_srcs.append(arch)
+            else:
+                new_srcs.append(src)
+
+        new_dest = instr.dest
+        if isinstance(instr.dest, VirtReg) and instr.dest.cls is RegClass.V:
+            if instr.dest in mapping:
+                new_dest = mapping[instr.dest]
+            else:
+                new_dest = acquire(instr.dest, idx, in_use, need_reload=False)
+            in_use.add(new_dest)
+
+        instr.srcs = tuple(new_srcs)
+        instr.dest = new_dest
+        output.append(instr)
+
+        # Release registers whose virtual value is dead after this instruction.
+        for reg in list(mapping):
+            if positions[reg][-1] <= idx:
+                free.append(mapping.pop(reg))
+
+    block.instructions = output
+
+
+def _pick_victim(
+    mapping: dict[VirtReg, Register],
+    in_use: set[Register],
+    idx: int,
+    next_use,
+) -> VirtReg:
+    candidates = [virt for virt, arch in mapping.items() if arch not in in_use]
+    if not candidates:
+        raise RegisterAllocationError(
+            "an instruction references more live vector values than there are "
+            "architected vector registers"
+        )
+    return max(candidates, key=lambda virt: next_use(virt, idx))
+
+
+# ---------------------------------------------------------------------------
+# scalar (A and S) register allocation (whole program)
+# ---------------------------------------------------------------------------
+
+
+def allocate_scalar_registers(code: GeneratedCode, stats: AllocationStats) -> None:
+    """Rewrite every block so all A and S operands are architected registers."""
+    _allocate_scalar_class(code, RegClass.A, USABLE_A_REGS, stats)
+    _allocate_scalar_class(code, RegClass.S, USABLE_S_REGS, stats)
+
+
+@dataclass
+class _ScalarPlan:
+    assigned: dict[VirtReg, Register] = field(default_factory=dict)
+    memory_resident: dict[VirtReg, int] = field(default_factory=dict)
+    #: single-definition constants: reloads become ``li`` again instead of a
+    #: memory round trip (classic rematerialisation)
+    rematerializable: dict[VirtReg, int] = field(default_factory=dict)
+    scratch: list[Register] = field(default_factory=list)
+
+
+@dataclass
+class _LiveInterval:
+    """Conservative live interval of one scalar virtual register."""
+
+    virt: VirtReg
+    start: int
+    end: int
+    uses: int = 0
+    rematerializable_value: int | None = None
+
+
+def _linearize(code: GeneratedCode) -> tuple[list[VInstr], dict[str, int], list[tuple[int, int]]]:
+    """Assign global positions to instructions and find loop/call regions."""
+    instructions: list[VInstr] = []
+    label_position: dict[str, int] = {}
+    for block in code.blocks:
+        label_position[block.label] = len(instructions)
+        instructions.extend(block.instructions)
+
+    regions: list[tuple[int, int]] = []
+    # Loop regions: a backward branch at position p targeting label t <= p
+    # means everything in [t, p] executes repeatedly.
+    for pos, instr in enumerate(instructions):
+        if instr.target is not None and instr.opcode is not Opcode.CALL:
+            target_pos = label_position.get(instr.target)
+            if target_pos is not None and target_pos <= pos:
+                regions.append((target_pos, pos))
+    # Call regions: a value live across a call site is also live throughout
+    # the callee's body (which sits elsewhere in the linear order).
+    for pos, instr in enumerate(instructions):
+        if instr.opcode is Opcode.CALL and instr.target in label_position:
+            callee_start = label_position[instr.target]
+            callee_end = callee_start
+            for later in range(callee_start, len(instructions)):
+                callee_end = later
+                if instructions[later].opcode is Opcode.RET:
+                    break
+            regions.append((pos, max(pos, callee_end)))
+    return instructions, label_position, regions
+
+
+def _compute_intervals(
+    instructions: list[VInstr], regions: list[tuple[int, int]], cls: RegClass
+) -> list[_LiveInterval]:
+    first: dict[VirtReg, int] = {}
+    last: dict[VirtReg, int] = {}
+    uses: dict[VirtReg, int] = {}
+    definitions: dict[VirtReg, list[VInstr]] = {}
+    for pos, instr in enumerate(instructions):
+        for reg in instr.registers():
+            if isinstance(reg, VirtReg) and reg.cls is cls:
+                first.setdefault(reg, pos)
+                last[reg] = pos
+                uses[reg] = uses.get(reg, 0) + 1
+        if isinstance(instr.dest, VirtReg) and instr.dest.cls is cls:
+            definitions.setdefault(instr.dest, []).append(instr)
+
+    intervals = []
+    for virt, start in first.items():
+        end = last[virt]
+        # A value that enters a loop (or call) region but was defined before
+        # it must stay live until the region's last instruction, because the
+        # back edge (or the next call) will read it again.
+        changed = True
+        while changed:
+            changed = False
+            for region_start, region_end in regions:
+                if start < region_start <= end < region_end:
+                    end = region_end
+                    changed = True
+        defs = definitions.get(virt, [])
+        remat = None
+        if len(defs) == 1 and defs[0].opcode is Opcode.LI and defs[0].imm is not None:
+            remat = defs[0].imm
+        intervals.append(
+            _LiveInterval(virt=virt, start=start, end=end, uses=uses[virt],
+                          rematerializable_value=remat)
+        )
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals
+
+
+def _linear_scan(
+    intervals: list[_LiveInterval], registers: list[Register]
+) -> tuple[dict[VirtReg, Register], list[_LiveInterval]]:
+    """Poletto/Sarkar linear scan; returns assignments and spilled intervals."""
+    assigned: dict[VirtReg, Register] = {}
+    spilled: list[_LiveInterval] = []
+    active: list[_LiveInterval] = []
+    free = list(registers)
+
+    for interval in intervals:
+        # Expire intervals that ended before this one starts.
+        still_active = []
+        for act in active:
+            if act.end < interval.start:
+                free.append(assigned[act.virt])
+            else:
+                still_active.append(act)
+        active = still_active
+
+        if free:
+            assigned[interval.virt] = free.pop(0)
+            active.append(interval)
+            continue
+
+        # No register available: spill the interval that ends last, preferring
+        # rematerialisable values (their "spill" costs a single li per use).
+        candidates = active + [interval]
+        victim = max(
+            candidates,
+            key=lambda iv: (iv.rematerializable_value is not None, iv.end, -iv.uses),
+        )
+        spilled.append(victim)
+        if victim is not interval:
+            assigned[interval.virt] = assigned.pop(victim.virt)
+            active.remove(victim)
+            active.append(interval)
+
+    return assigned, spilled
+
+
+def _allocate_scalar_class(
+    code: GeneratedCode, cls: RegClass, usable: int, stats: AllocationStats
+) -> None:
+    instructions, _labels, regions = _linearize(code)
+    intervals = _compute_intervals(instructions, regions, cls)
+    if not intervals:
+        return
+
+    architected = [Register(cls, i) for i in range(usable)]
+
+    # First try with the whole register file; only when values must live in
+    # memory (or be rematerialised) do we reserve scratch registers for the
+    # reload/store sequences.
+    assigned, spilled = _linear_scan(intervals, architected)
+    plan = _ScalarPlan()
+    if not spilled:
+        plan.assigned = assigned
+    else:
+        scratch = architected[usable - SCALAR_SCRATCH_REGS:]
+        assigned, spilled = _linear_scan(intervals, architected[: usable - SCALAR_SCRATCH_REGS])
+        plan.assigned = assigned
+        plan.scratch = scratch
+        for interval in spilled:
+            if interval.rematerializable_value is not None:
+                plan.rematerializable[interval.virt] = interval.rematerializable_value
+                stats.rematerialized_scalars += 1
+            else:
+                plan.memory_resident[interval.virt] = code.layout.allocate_spill_slot(
+                    ELEMENT_BYTES
+                )
+        stats.memory_resident_scalars += len(plan.memory_resident)
+
+    for block in code.blocks:
+        _rewrite_scalar_block(block, cls, plan, stats)
+
+
+def _rewrite_scalar_block(
+    block: VBlock, cls: RegClass, plan: _ScalarPlan, stats: AllocationStats
+) -> None:
+    output: list[VInstr] = []
+    for instr in block.instructions:
+        prefix: list[VInstr] = []
+        suffix: list[VInstr] = []
+        scratch_cycle = 0
+
+        def translate(reg, is_dest: bool):
+            nonlocal scratch_cycle
+            if not (isinstance(reg, VirtReg) and reg.cls is cls):
+                return reg
+            if reg in plan.assigned:
+                return plan.assigned[reg]
+            if reg in plan.rematerializable:
+                scratch = plan.scratch[scratch_cycle % len(plan.scratch)]
+                scratch_cycle += 1
+                if not is_dest:
+                    prefix.append(
+                        VInstr(
+                            Opcode.LI,
+                            dest=scratch,
+                            imm=plan.rematerializable[reg],
+                            comment=f"rematerialize {reg}",
+                        )
+                    )
+                return scratch
+            slot = plan.memory_resident[reg]
+            scratch = plan.scratch[scratch_cycle % len(plan.scratch)]
+            scratch_cycle += 1
+            if is_dest:
+                suffix.append(
+                    VInstr(
+                        Opcode.STORE,
+                        srcs=(scratch, SPILL_BASE_REGISTER),
+                        imm=slot,
+                        is_spill=True,
+                        comment=f"spill {reg}",
+                    )
+                )
+                stats.scalar_spill_stores += 1
+            else:
+                prefix.append(
+                    VInstr(
+                        Opcode.LOAD,
+                        dest=scratch,
+                        srcs=(SPILL_BASE_REGISTER,),
+                        imm=slot,
+                        is_spill=True,
+                        comment=f"reload {reg}",
+                    )
+                )
+                stats.scalar_spill_loads += 1
+            return scratch
+
+        # Translate sources first so the scratch assignment of a source that
+        # is also the destination stays coherent (load, operate, store).
+        translated_srcs = tuple(translate(src, is_dest=False) for src in instr.srcs)
+        src_translation = {
+            orig: new for orig, new in zip(instr.srcs, translated_srcs)
+            if isinstance(orig, VirtReg) and orig.cls is cls
+        }
+        if (
+            isinstance(instr.dest, VirtReg)
+            and instr.dest.cls is cls
+            and instr.dest in plan.memory_resident
+            and instr.dest in src_translation
+        ):
+            # Reuse the scratch register already holding the value.
+            scratch = src_translation[instr.dest]
+            suffix.append(
+                VInstr(
+                    Opcode.STORE,
+                    srcs=(scratch, SPILL_BASE_REGISTER),
+                    imm=plan.memory_resident[instr.dest],
+                    is_spill=True,
+                    comment=f"spill {instr.dest}",
+                )
+            )
+            stats.scalar_spill_stores += 1
+            translated_dest = scratch
+        else:
+            translated_dest = translate(instr.dest, is_dest=True)
+
+        instr.srcs = translated_srcs
+        instr.dest = translated_dest
+        output.extend(prefix)
+        output.append(instr)
+        output.extend(suffix)
+    block.instructions = output
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def allocate_registers(code: GeneratedCode) -> AllocationStats:
+    """Run vector then scalar allocation in place and return spill statistics."""
+    stats = AllocationStats()
+    allocate_vector_registers(code, stats)
+    allocate_scalar_registers(code, stats)
+    _check_fully_allocated(code)
+    return stats
+
+
+def _check_fully_allocated(code: GeneratedCode) -> None:
+    for block in code.blocks:
+        for instr in block.instructions:
+            for reg in instr.registers():
+                if isinstance(reg, VirtReg):
+                    raise RegisterAllocationError(
+                        f"virtual register {reg} survived allocation in block "
+                        f"{block.label}: {instr.opcode}"
+                    )

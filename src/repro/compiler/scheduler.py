@@ -1,0 +1,82 @@
+"""Basic-block instruction scheduling.
+
+The Convex compiler schedules vector instructions so that the in-order
+machine's register-bank ports do not conflict and so that memory accesses
+overlap with computation.  We provide two simple policies:
+
+* ``"asis"`` (default) — keep the order produced by code generation, which
+  already interleaves loads with the computations that consume them.
+* ``"loads_first"`` — hoist vector loads to the top of each block, a
+  classic static latency-hiding schedule for in-order machines.  Used by the
+  scheduling ablation benchmark to show how much static scheduling can (and
+  cannot) recover compared to out-of-order issue.
+
+Both policies preserve all data dependences and never move instructions
+across memory operations that may alias.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CompilationError
+from repro.compiler.codegen import GeneratedCode, VInstr
+from repro.isa.opcodes import InstrKind
+
+SCHEDULING_POLICIES = ("asis", "loads_first")
+
+
+def schedule_code(code: GeneratedCode, policy: str = "asis") -> None:
+    """Apply the selected scheduling policy to every block, in place."""
+    if policy not in SCHEDULING_POLICIES:
+        raise CompilationError(
+            f"unknown scheduling policy {policy!r}; expected one of {SCHEDULING_POLICIES}"
+        )
+    if policy == "asis":
+        return
+    for block in code.blocks:
+        block.instructions = _hoist_loads(block.instructions)
+
+
+def _hoist_loads(instructions: list[VInstr]) -> list[VInstr]:
+    """Move vector loads as early as their dependences allow.
+
+    A load may move above a preceding instruction when that instruction does
+    not define any register the load reads, does not read or define the
+    load's destination, is not a store or another memory operation (we do
+    not reorder memory operations statically; the simulators' disambiguation
+    logic is the subject of study), and is not a control-flow or
+    vector-control instruction.
+    """
+    scheduled: list[VInstr] = list(instructions)
+    changed = True
+    while changed:
+        changed = False
+        for idx in range(1, len(scheduled)):
+            instr = scheduled[idx]
+            if instr.opcode.kind is not InstrKind.VECTOR_LOAD:
+                continue
+            prev = scheduled[idx - 1]
+            if _can_swap(prev, instr):
+                scheduled[idx - 1], scheduled[idx] = instr, prev
+                changed = True
+    return scheduled
+
+
+def _can_swap(earlier: VInstr, later_load: VInstr) -> bool:
+    if earlier.opcode.kind in (
+        InstrKind.BRANCH,
+        InstrKind.VECTOR_CONTROL,
+        InstrKind.VECTOR_LOAD,
+        InstrKind.VECTOR_STORE,
+        InstrKind.SCALAR_LOAD,
+        InstrKind.SCALAR_STORE,
+    ):
+        return False
+    earlier_defs = {earlier.dest} if earlier.dest is not None else set()
+    load_reads = set(later_load.srcs)
+    load_defs = {later_load.dest} if later_load.dest is not None else set()
+    if earlier_defs & load_reads:
+        return False
+    earlier_regs = set(earlier.registers())
+    if earlier_regs & load_defs:
+        return False
+    return True

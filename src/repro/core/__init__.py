@@ -1,0 +1,32 @@
+"""Public API: configurations, the run() entry point and the experiments."""
+
+from repro.core.config import (
+    DEFAULT_LATENCY,
+    LATENCY_SWEEP,
+    MachineConfig,
+    REFERENCE_LATENCY_SWEEP,
+    REGISTER_SWEEP,
+    get_config,
+    ooo_config,
+    reference_config,
+    standard_configs,
+)
+from repro.core.results import SimulationResult
+from repro.core.simulator import clear_simulation_cache, run, run_cached, simulate_trace
+
+__all__ = [
+    "DEFAULT_LATENCY",
+    "LATENCY_SWEEP",
+    "MachineConfig",
+    "REFERENCE_LATENCY_SWEEP",
+    "REGISTER_SWEEP",
+    "get_config",
+    "ooo_config",
+    "reference_config",
+    "standard_configs",
+    "SimulationResult",
+    "clear_simulation_cache",
+    "run",
+    "run_cached",
+    "simulate_trace",
+]

@@ -1,0 +1,120 @@
+"""Named machine configurations used throughout the paper's evaluation.
+
+Every experiment in Section 4–6 is a comparison between a handful of
+configurations; this module gives them stable names so experiments, tests
+and examples all talk about the same machines:
+
+* ``reference``            — the in-order Convex C3400 model (Section 2.1);
+* ``ooo``                  — the OOOVA with early commit (Section 2.2);
+* ``ooo-late``             — the OOOVA with precise traps (late commit,
+  stores at the head of the reorder buffer; Section 5);
+* ``ooo-late-sle``         — late commit plus scalar load elimination;
+* ``ooo-late-sle-vle``     — late commit plus scalar and vector load
+  elimination (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import CommitModel, LoadElimination, OOOParams, ReferenceParams
+
+MachineParams = Union[ReferenceParams, OOOParams]
+
+#: physical vector register counts swept in Figures 5 and 9
+REGISTER_SWEEP = (9, 16, 32, 64)
+
+#: memory latencies used for the reference-architecture study (Figures 3, 4)
+REFERENCE_LATENCY_SWEEP = (1, 20, 70, 100)
+
+#: memory latencies used for the latency-tolerance study (Figure 8)
+LATENCY_SWEEP = (1, 50, 100)
+
+#: default memory latency for all other experiments
+DEFAULT_LATENCY = 50
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A named, fully specified machine configuration."""
+
+    name: str
+    params: MachineParams
+
+    @property
+    def is_reference(self) -> bool:
+        return isinstance(self.params, ReferenceParams)
+
+    def with_memory_latency(self, latency: int) -> "MachineConfig":
+        return MachineConfig(self.name, self.params.with_memory_latency(latency))
+
+    def with_phys_vregs(self, count: int) -> "MachineConfig":
+        if self.is_reference:
+            raise ConfigurationError(
+                "the reference architecture has a fixed set of 8 vector registers"
+            )
+        return MachineConfig(self.name, self.params.with_phys_vregs(count))
+
+    def with_queue_slots(self, slots: int) -> "MachineConfig":
+        if self.is_reference:
+            raise ConfigurationError("the reference architecture has no issue queues")
+        return MachineConfig(self.name, replace(self.params, queue_slots=slots))
+
+
+def reference_config(latency: int = DEFAULT_LATENCY) -> MachineConfig:
+    """The in-order reference machine."""
+    return MachineConfig("reference", ReferenceParams().with_memory_latency(latency))
+
+
+def ooo_config(
+    phys_vregs: int = 16,
+    latency: int = DEFAULT_LATENCY,
+    commit_model: CommitModel = CommitModel.EARLY,
+    load_elimination: LoadElimination = LoadElimination.NONE,
+    queue_slots: int = 16,
+) -> MachineConfig:
+    """An OOOVA machine with the given knobs (defaults match the paper)."""
+    name_parts = ["ooo"]
+    if commit_model is CommitModel.LATE:
+        name_parts.append("late")
+    if load_elimination is LoadElimination.SLE:
+        name_parts.append("sle")
+    elif load_elimination is LoadElimination.SLE_VLE:
+        name_parts.append("sle-vle")
+    params = OOOParams(
+        num_phys_vregs=phys_vregs,
+        commit_model=commit_model,
+        load_elimination=load_elimination,
+        queue_slots=queue_slots,
+    ).with_memory_latency(latency)
+    return MachineConfig("-".join(name_parts), params)
+
+
+def standard_configs(latency: int = DEFAULT_LATENCY) -> dict[str, MachineConfig]:
+    """The five named configurations used throughout the evaluation."""
+    return {
+        "reference": reference_config(latency),
+        "ooo": ooo_config(latency=latency),
+        "ooo-late": ooo_config(latency=latency, commit_model=CommitModel.LATE),
+        "ooo-late-sle": ooo_config(
+            latency=latency, commit_model=CommitModel.LATE,
+            load_elimination=LoadElimination.SLE,
+        ),
+        "ooo-late-sle-vle": ooo_config(
+            latency=latency, commit_model=CommitModel.LATE,
+            load_elimination=LoadElimination.SLE_VLE,
+        ),
+    }
+
+
+def get_config(name: str, latency: int = DEFAULT_LATENCY) -> MachineConfig:
+    """Look a standard configuration up by name."""
+    configs = standard_configs(latency)
+    try:
+        return configs[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown configuration {name!r}; available: {', '.join(sorted(configs))}"
+        ) from exc

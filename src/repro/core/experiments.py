@@ -1,0 +1,331 @@
+"""One entry point per table and figure of the paper's evaluation.
+
+Each function runs the simulations behind one exhibit of the paper and
+returns plain data structures (dictionaries keyed by program name).  The
+benchmark harness under ``benchmarks/`` calls these functions and prints the
+resulting tables; EXPERIMENTS.md records the measured values next to the
+paper's.  All functions accept a ``programs`` subset and a ``scale`` so the
+test suite can exercise them cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Iterable, Mapping, Sequence
+
+from repro.common.params import CommitModel, FunctionalUnitLatencies, LoadElimination
+from repro.core.config import (
+    DEFAULT_LATENCY,
+    LATENCY_SWEEP,
+    REFERENCE_LATENCY_SWEEP,
+    REGISTER_SWEEP,
+    ooo_config,
+    reference_config,
+)
+from repro.core.simulator import run_cached
+from repro.trace.stats import TraceStatistics
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+#: the two programs the paper uses as representatives in Figure 3
+FIGURE3_PROGRAMS = ("hydro2d", "dyfesm")
+
+#: physical register counts used in the load-elimination studies (Figs 11-12)
+LOAD_ELIMINATION_REGISTER_SWEEP = (16, 32, 64)
+
+
+def _programs(programs: Iterable[str] | None) -> tuple[str, ...]:
+    return tuple(programs) if programs is not None else WORKLOAD_NAMES
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def table1_functional_unit_latencies() -> dict[str, int]:
+    """Table 1: functional-unit latencies (cycles) used by both machines."""
+    return asdict(FunctionalUnitLatencies())
+
+
+def table2_program_statistics(
+    programs: Iterable[str] | None = None, scale: str = "small"
+) -> dict[str, TraceStatistics]:
+    """Table 2: instruction counts, %vectorisation and average vector length."""
+    return {name: get_workload(name, scale).statistics() for name in _programs(programs)}
+
+
+def table3_spill_statistics(
+    programs: Iterable[str] | None = None, scale: str = "small"
+) -> dict[str, dict[str, int]]:
+    """Table 3: vector memory operations split into ordinary and spill traffic."""
+    rows: dict[str, dict[str, int]] = {}
+    for name in _programs(programs):
+        stats = get_workload(name, scale).statistics()
+        rows[name] = {
+            "vector_load_ops": stats.vector_load_ops,
+            "vector_load_spill_ops": stats.vector_load_spill_ops,
+            "vector_store_ops": stats.vector_store_ops,
+            "vector_store_spill_ops": stats.vector_store_spill_ops,
+            "scalar_load_spill_ops": stats.scalar_load_spill_ops,
+            "scalar_store_spill_ops": stats.scalar_store_spill_ops,
+        }
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Reference-architecture studies (Figures 3 and 4)
+# ---------------------------------------------------------------------------
+
+
+def figure3_reference_state_breakdown(
+    programs: Iterable[str] | None = None,
+    latencies: Sequence[int] = REFERENCE_LATENCY_SWEEP,
+    scale: str = "small",
+) -> dict[str, dict[int, dict[tuple[bool, bool, bool], int]]]:
+    """Figure 3: (FU2, FU1, MEM) state breakdown of the reference machine.
+
+    The paper shows the two representative programs hydro2d and dyfesm; by
+    default this does the same, but any subset can be requested.
+    """
+    selected = tuple(programs) if programs is not None else FIGURE3_PROGRAMS
+    results: dict[str, dict[int, dict[tuple[bool, bool, bool], int]]] = {}
+    for name in selected:
+        per_latency = {}
+        for latency in latencies:
+            result = run_cached(name, reference_config(latency), scale)
+            per_latency[latency] = result.stats.state_breakdown()
+        results[name] = per_latency
+    return results
+
+
+def figure4_reference_port_idle(
+    programs: Iterable[str] | None = None,
+    latencies: Sequence[int] = REFERENCE_LATENCY_SWEEP,
+    scale: str = "small",
+) -> dict[str, dict[int, float]]:
+    """Figure 4: % cycles the memory port is idle on the reference machine."""
+    results: dict[str, dict[int, float]] = {}
+    for name in _programs(programs):
+        results[name] = {
+            latency: run_cached(name, reference_config(latency), scale)
+            .stats.memory_port_idle_fraction()
+            for latency in latencies
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# OOOVA performance (Figures 5, 6, 7, 8)
+# ---------------------------------------------------------------------------
+
+
+def figure5_speedup_vs_registers(
+    programs: Iterable[str] | None = None,
+    register_counts: Sequence[int] = REGISTER_SWEEP,
+    latency: int = DEFAULT_LATENCY,
+    scale: str = "small",
+) -> dict[str, dict[str, Mapping]]:
+    """Figure 5: OOOVA speedup over the reference machine vs physical registers.
+
+    Returns, per program, the speedup curves of the 16-slot-queue and
+    128-slot-queue machines plus the IDEAL upper bound.
+    """
+    results: dict[str, dict[str, Mapping]] = {}
+    for name in _programs(programs):
+        reference = run_cached(name, reference_config(latency), scale)
+        ideal_cycles = reference.stats.ideal_cycles()
+        curves: dict[str, dict[int, float]] = {"OOOVA-16": {}, "OOOVA-128": {}}
+        for regs in register_counts:
+            for label, slots in (("OOOVA-16", 16), ("OOOVA-128", 128)):
+                config = ooo_config(phys_vregs=regs, latency=latency, queue_slots=slots)
+                result = run_cached(name, config, scale)
+                curves[label][regs] = result.speedup_over(reference)
+        results[name] = {
+            "curves": curves,
+            "ideal": reference.cycles / ideal_cycles if ideal_cycles else float("inf"),
+        }
+    return results
+
+
+def figure6_port_idle_comparison(
+    programs: Iterable[str] | None = None,
+    latency: int = DEFAULT_LATENCY,
+    phys_vregs: int = 16,
+    scale: str = "small",
+) -> dict[str, dict[str, float]]:
+    """Figure 6: memory-port idle fraction, reference versus OOOVA."""
+    results: dict[str, dict[str, float]] = {}
+    for name in _programs(programs):
+        reference = run_cached(name, reference_config(latency), scale)
+        ooo = run_cached(name, ooo_config(phys_vregs=phys_vregs, latency=latency), scale)
+        results[name] = {
+            "REF": reference.stats.memory_port_idle_fraction(),
+            "OOOVA": ooo.stats.memory_port_idle_fraction(),
+        }
+    return results
+
+
+def figure7_state_breakdown_comparison(
+    programs: Iterable[str] | None = None,
+    latency: int = DEFAULT_LATENCY,
+    phys_vregs: int = 16,
+    scale: str = "small",
+) -> dict[str, dict[str, dict[tuple[bool, bool, bool], int]]]:
+    """Figure 7: execution-state breakdown, reference versus OOOVA."""
+    results: dict[str, dict[str, dict[tuple[bool, bool, bool], int]]] = {}
+    for name in _programs(programs):
+        reference = run_cached(name, reference_config(latency), scale)
+        ooo = run_cached(name, ooo_config(phys_vregs=phys_vregs, latency=latency), scale)
+        results[name] = {
+            "REF": reference.stats.state_breakdown(),
+            "OOOVA": ooo.stats.state_breakdown(),
+        }
+    return results
+
+
+def figure8_latency_tolerance(
+    programs: Iterable[str] | None = None,
+    latencies: Sequence[int] = LATENCY_SWEEP,
+    phys_vregs: int = 16,
+    scale: str = "small",
+) -> dict[str, dict[str, dict[int, int]]]:
+    """Figure 8: execution time versus main-memory latency (REF, OOOVA, IDEAL)."""
+    results: dict[str, dict[str, dict[int, int]]] = {}
+    for name in _programs(programs):
+        ref_curve: dict[int, int] = {}
+        ooo_curve: dict[int, int] = {}
+        ideal_curve: dict[int, int] = {}
+        for latency in latencies:
+            reference = run_cached(name, reference_config(latency), scale)
+            ooo = run_cached(name, ooo_config(phys_vregs=phys_vregs, latency=latency), scale)
+            ref_curve[latency] = reference.cycles
+            ooo_curve[latency] = ooo.cycles
+            ideal_curve[latency] = reference.stats.ideal_cycles()
+        results[name] = {"REF": ref_curve, "OOOVA": ooo_curve, "IDEAL": ideal_curve}
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Precise traps (Figure 9)
+# ---------------------------------------------------------------------------
+
+
+def figure9_commit_models(
+    programs: Iterable[str] | None = None,
+    register_counts: Sequence[int] = REGISTER_SWEEP,
+    latency: int = DEFAULT_LATENCY,
+    scale: str = "small",
+) -> dict[str, dict[str, dict[int, float]]]:
+    """Figure 9: speedup over the reference machine, early versus late commit."""
+    results: dict[str, dict[str, dict[int, float]]] = {}
+    for name in _programs(programs):
+        reference = run_cached(name, reference_config(latency), scale)
+        early: dict[int, float] = {}
+        late: dict[int, float] = {}
+        for regs in register_counts:
+            early_run = run_cached(name, ooo_config(phys_vregs=regs, latency=latency), scale)
+            late_run = run_cached(
+                name,
+                ooo_config(phys_vregs=regs, latency=latency, commit_model=CommitModel.LATE),
+                scale,
+            )
+            early[regs] = early_run.speedup_over(reference)
+            late[regs] = late_run.speedup_over(reference)
+        results[name] = {"early": early, "late": late}
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Dynamic load elimination (Figures 11, 12, 13)
+# ---------------------------------------------------------------------------
+
+
+def _load_elimination_speedups(
+    elimination: LoadElimination,
+    programs: Iterable[str] | None,
+    register_counts: Sequence[int],
+    latency: int,
+    scale: str,
+) -> dict[str, dict[int, float]]:
+    results: dict[str, dict[int, float]] = {}
+    for name in _programs(programs):
+        per_regs: dict[int, float] = {}
+        for regs in register_counts:
+            baseline = run_cached(
+                name,
+                ooo_config(phys_vregs=regs, latency=latency, commit_model=CommitModel.LATE),
+                scale,
+            )
+            improved = run_cached(
+                name,
+                ooo_config(
+                    phys_vregs=regs,
+                    latency=latency,
+                    commit_model=CommitModel.LATE,
+                    load_elimination=elimination,
+                ),
+                scale,
+            )
+            per_regs[regs] = improved.speedup_over(baseline)
+        results[name] = per_regs
+    return results
+
+
+def figure11_sle_speedup(
+    programs: Iterable[str] | None = None,
+    register_counts: Sequence[int] = LOAD_ELIMINATION_REGISTER_SWEEP,
+    latency: int = DEFAULT_LATENCY,
+    scale: str = "small",
+) -> dict[str, dict[int, float]]:
+    """Figure 11: speedup of scalar load elimination over the late-commit OOOVA."""
+    return _load_elimination_speedups(
+        LoadElimination.SLE, programs, register_counts, latency, scale
+    )
+
+
+def figure12_sle_vle_speedup(
+    programs: Iterable[str] | None = None,
+    register_counts: Sequence[int] = LOAD_ELIMINATION_REGISTER_SWEEP,
+    latency: int = DEFAULT_LATENCY,
+    scale: str = "small",
+) -> dict[str, dict[int, float]]:
+    """Figure 12: speedup of scalar+vector load elimination over the baseline."""
+    return _load_elimination_speedups(
+        LoadElimination.SLE_VLE, programs, register_counts, latency, scale
+    )
+
+
+def figure13_traffic_reduction(
+    programs: Iterable[str] | None = None,
+    phys_vregs: int = 32,
+    latency: int = DEFAULT_LATENCY,
+    scale: str = "small",
+) -> dict[str, dict[str, float]]:
+    """Figure 13: memory-traffic reduction of SLE and SLE+VLE at 32 registers.
+
+    The ratio follows Section 6.4: requests issued by the baseline OOOVA
+    divided by requests issued by the load-eliminating configuration.
+    """
+    results: dict[str, dict[str, float]] = {}
+    for name in _programs(programs):
+        baseline = run_cached(
+            name,
+            ooo_config(phys_vregs=phys_vregs, latency=latency, commit_model=CommitModel.LATE),
+            scale,
+        )
+        row: dict[str, float] = {}
+        for label, elimination in (("SLE", LoadElimination.SLE),
+                                   ("SLE+VLE", LoadElimination.SLE_VLE)):
+            improved = run_cached(
+                name,
+                ooo_config(
+                    phys_vregs=phys_vregs,
+                    latency=latency,
+                    commit_model=CommitModel.LATE,
+                    load_elimination=elimination,
+                ),
+                scale,
+            )
+            row[label] = improved.traffic_reduction_over(baseline)
+        results[name] = row
+    return results

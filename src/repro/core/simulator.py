@@ -1,0 +1,65 @@
+"""Top-level simulation API.
+
+``run(workload, config)`` is the single entry point the examples, tests and
+benchmark harness use: it produces (and caches) the workload's trace, picks
+the right simulator for the configuration, and returns a
+:class:`~repro.core.results.SimulationResult` that bundles the configuration,
+the workload identity and the collected statistics.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.common.params import OOOParams, ReferenceParams
+from repro.core.config import MachineConfig
+from repro.core.results import SimulationResult
+from repro.ooo.machine import OOOVectorSimulator
+from repro.refsim.machine import ReferenceSimulator
+from repro.trace.records import Trace
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+
+def simulate_trace(trace: Trace, config: MachineConfig) -> SimulationResult:
+    """Run an existing trace through the machine described by ``config``."""
+    if isinstance(config.params, ReferenceParams):
+        stats = ReferenceSimulator(config.params).run(trace)
+    elif isinstance(config.params, OOOParams):
+        stats = OOOVectorSimulator(config.params).run(trace)
+    else:  # pragma: no cover - MachineConfig only accepts the two types
+        raise TypeError(f"unsupported machine parameters: {type(config.params)!r}")
+    return SimulationResult(
+        workload=trace.name,
+        config_name=config.name,
+        params=config.params,
+        stats=stats,
+    )
+
+
+def run(workload: Workload | str, config: MachineConfig, scale: str = "small") -> SimulationResult:
+    """Simulate ``workload`` (an object or a registry name) on ``config``."""
+    if isinstance(workload, str):
+        workload = get_workload(workload, scale)
+    return simulate_trace(workload.trace(), config)
+
+
+@functools.lru_cache(maxsize=4096)
+def _cached_run(workload_name: str, scale: str, config_key: tuple) -> SimulationResult:
+    config = MachineConfig(config_key[0], config_key[1])
+    workload = get_workload(workload_name, scale)
+    return simulate_trace(workload.trace(), config)
+
+
+def run_cached(workload_name: str, config: MachineConfig, scale: str = "small") -> SimulationResult:
+    """Like :func:`run`, but memoised on (workload, scale, configuration).
+
+    The experiment harness re-uses many (workload, configuration) pairs across
+    different tables and figures; caching keeps the full suite fast.
+    """
+    return _cached_run(workload_name, scale, (config.name, config.params))
+
+
+def clear_simulation_cache() -> None:
+    """Drop memoised simulation results (mainly for tests)."""
+    _cached_run.cache_clear()

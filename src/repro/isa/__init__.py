@@ -1,0 +1,47 @@
+"""The Convex-C34-flavoured vector instruction set."""
+
+from repro.isa.instructions import CONDITIONS, ELEMENT_BYTES, Instruction, count_kinds
+from repro.isa.opcodes import (
+    InstrKind,
+    MemAccess,
+    Opcode,
+    OpcodeInfo,
+    VECTOR_COMPUTE_OPCODES,
+    VECTOR_MEMORY_OPCODES,
+    opcode_by_name,
+)
+from repro.isa.program import BasicBlock, Program
+from repro.isa.registers import (
+    RegClass,
+    Register,
+    all_registers,
+    areg,
+    parse_register,
+    sreg,
+    vmreg,
+    vreg,
+)
+
+__all__ = [
+    "CONDITIONS",
+    "ELEMENT_BYTES",
+    "Instruction",
+    "count_kinds",
+    "InstrKind",
+    "MemAccess",
+    "Opcode",
+    "OpcodeInfo",
+    "VECTOR_COMPUTE_OPCODES",
+    "VECTOR_MEMORY_OPCODES",
+    "opcode_by_name",
+    "BasicBlock",
+    "Program",
+    "RegClass",
+    "Register",
+    "all_registers",
+    "areg",
+    "parse_register",
+    "sreg",
+    "vmreg",
+    "vreg",
+]

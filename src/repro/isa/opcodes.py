@@ -1,0 +1,203 @@
+"""Opcode table for the Convex-C34-flavoured vector ISA.
+
+Every opcode carries the static properties both simulators need:
+
+* its broad *kind* (scalar ALU, scalar memory, branch, vector ALU, vector
+  memory, control),
+* its latency class (mapping into
+  :class:`repro.common.params.FunctionalUnitLatencies`),
+* which vector functional units may execute it — FU1 executes every vector
+  instruction *except* multiplication, division and square root; FU2 is the
+  general-purpose unit that executes everything (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InstrKind(enum.Enum):
+    """Broad instruction classes used for queue routing and accounting."""
+
+    SCALAR_ALU = "scalar_alu"
+    SCALAR_LOAD = "scalar_load"
+    SCALAR_STORE = "scalar_store"
+    BRANCH = "branch"
+    VECTOR_ALU = "vector_alu"
+    VECTOR_LOAD = "vector_load"
+    VECTOR_STORE = "vector_store"
+    VECTOR_CONTROL = "vector_control"
+
+    @property
+    def is_vector(self) -> bool:
+        return self in (
+            InstrKind.VECTOR_ALU,
+            InstrKind.VECTOR_LOAD,
+            InstrKind.VECTOR_STORE,
+        )
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (
+            InstrKind.SCALAR_LOAD,
+            InstrKind.SCALAR_STORE,
+            InstrKind.VECTOR_LOAD,
+            InstrKind.VECTOR_STORE,
+        )
+
+    @property
+    def is_load(self) -> bool:
+        return self in (InstrKind.SCALAR_LOAD, InstrKind.VECTOR_LOAD)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (InstrKind.SCALAR_STORE, InstrKind.VECTOR_STORE)
+
+
+class MemAccess(enum.Enum):
+    """Addressing mode of a memory opcode."""
+
+    NONE = "none"
+    UNIT = "unit"
+    STRIDED = "strided"
+    INDEXED = "indexed"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one opcode."""
+
+    name: str
+    kind: InstrKind
+    #: latency class, one of logical/add/mul/div/sqrt/scalar_alu/scalar_mul/
+    #: scalar_div/scalar_mem (memory opcodes ignore this and use the memory
+    #: model instead)
+    latency_class: str = "logical"
+    #: True when only the general-purpose FU2 can execute this vector opcode
+    fu2_only: bool = False
+    #: addressing mode for memory opcodes
+    access: MemAccess = MemAccess.NONE
+    #: True for vector opcodes that read the current vector mask register
+    uses_mask: bool = False
+    #: True for vector opcodes that write a vector mask register
+    writes_mask: bool = False
+
+    @property
+    def is_vector(self) -> bool:
+        return self.kind.is_vector
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind.is_memory
+
+
+class Opcode(enum.Enum):
+    """Every opcode in the ISA.  Values are the :class:`OpcodeInfo` records."""
+
+    # --- scalar ALU -------------------------------------------------------
+    ADD = OpcodeInfo("add", InstrKind.SCALAR_ALU, "scalar_alu")
+    SUB = OpcodeInfo("sub", InstrKind.SCALAR_ALU, "scalar_alu")
+    MUL = OpcodeInfo("mul", InstrKind.SCALAR_ALU, "scalar_mul")
+    DIV = OpcodeInfo("div", InstrKind.SCALAR_ALU, "scalar_div")
+    AND = OpcodeInfo("and", InstrKind.SCALAR_ALU, "scalar_alu")
+    OR = OpcodeInfo("or", InstrKind.SCALAR_ALU, "scalar_alu")
+    XOR = OpcodeInfo("xor", InstrKind.SCALAR_ALU, "scalar_alu")
+    SHL = OpcodeInfo("shl", InstrKind.SCALAR_ALU, "scalar_alu")
+    SHR = OpcodeInfo("shr", InstrKind.SCALAR_ALU, "scalar_alu")
+    CMP = OpcodeInfo("cmp", InstrKind.SCALAR_ALU, "scalar_alu")
+    MOV = OpcodeInfo("mov", InstrKind.SCALAR_ALU, "scalar_alu")
+    LI = OpcodeInfo("li", InstrKind.SCALAR_ALU, "scalar_alu")
+    FADD = OpcodeInfo("fadd", InstrKind.SCALAR_ALU, "scalar_alu")
+    FSUB = OpcodeInfo("fsub", InstrKind.SCALAR_ALU, "scalar_alu")
+    FMUL = OpcodeInfo("fmul", InstrKind.SCALAR_ALU, "scalar_mul")
+    FDIV = OpcodeInfo("fdiv", InstrKind.SCALAR_ALU, "scalar_div")
+    FSQRT = OpcodeInfo("fsqrt", InstrKind.SCALAR_ALU, "scalar_div")
+
+    # --- scalar memory ----------------------------------------------------
+    LOAD = OpcodeInfo("load", InstrKind.SCALAR_LOAD, "scalar_mem", access=MemAccess.UNIT)
+    STORE = OpcodeInfo("store", InstrKind.SCALAR_STORE, "scalar_mem", access=MemAccess.UNIT)
+
+    # --- control flow -----------------------------------------------------
+    BR = OpcodeInfo("br", InstrKind.BRANCH, "scalar_alu")
+    JMP = OpcodeInfo("jmp", InstrKind.BRANCH, "scalar_alu")
+    CALL = OpcodeInfo("call", InstrKind.BRANCH, "scalar_alu")
+    RET = OpcodeInfo("ret", InstrKind.BRANCH, "scalar_alu")
+
+    # --- vector control ---------------------------------------------------
+    SETVL = OpcodeInfo("setvl", InstrKind.VECTOR_CONTROL, "scalar_alu")
+    SETVS = OpcodeInfo("setvs", InstrKind.VECTOR_CONTROL, "scalar_alu")
+
+    # --- vector arithmetic (FU1 or FU2) ------------------------------------
+    VADD = OpcodeInfo("vadd", InstrKind.VECTOR_ALU, "add")
+    VSUB = OpcodeInfo("vsub", InstrKind.VECTOR_ALU, "add")
+    VAND = OpcodeInfo("vand", InstrKind.VECTOR_ALU, "logical")
+    VOR = OpcodeInfo("vor", InstrKind.VECTOR_ALU, "logical")
+    VXOR = OpcodeInfo("vxor", InstrKind.VECTOR_ALU, "logical")
+    VSHL = OpcodeInfo("vshl", InstrKind.VECTOR_ALU, "logical")
+    VSHR = OpcodeInfo("vshr", InstrKind.VECTOR_ALU, "logical")
+    VMAX = OpcodeInfo("vmax", InstrKind.VECTOR_ALU, "add")
+    VMIN = OpcodeInfo("vmin", InstrKind.VECTOR_ALU, "add")
+    VCMP = OpcodeInfo("vcmp", InstrKind.VECTOR_ALU, "add", writes_mask=True)
+    VMERGE = OpcodeInfo("vmerge", InstrKind.VECTOR_ALU, "logical", uses_mask=True)
+    VSADD = OpcodeInfo("vsadd", InstrKind.VECTOR_ALU, "add")  # vector + scalar
+    VSUM = OpcodeInfo("vsum", InstrKind.VECTOR_ALU, "add")  # reduction to S reg
+    VBCAST = OpcodeInfo("vbcast", InstrKind.VECTOR_ALU, "logical")  # scalar -> vector
+    VNEG = OpcodeInfo("vneg", InstrKind.VECTOR_ALU, "logical")
+    VABS = OpcodeInfo("vabs", InstrKind.VECTOR_ALU, "logical")
+
+    # --- vector arithmetic (FU2 only: mul / div / sqrt) --------------------
+    VMUL = OpcodeInfo("vmul", InstrKind.VECTOR_ALU, "mul", fu2_only=True)
+    VSMUL = OpcodeInfo("vsmul", InstrKind.VECTOR_ALU, "mul", fu2_only=True)
+    VDIV = OpcodeInfo("vdiv", InstrKind.VECTOR_ALU, "div", fu2_only=True)
+    VSQRT = OpcodeInfo("vsqrt", InstrKind.VECTOR_ALU, "sqrt", fu2_only=True)
+
+    # --- vector memory ------------------------------------------------------
+    VLOAD = OpcodeInfo("vload", InstrKind.VECTOR_LOAD, access=MemAccess.UNIT)
+    VLOADS = OpcodeInfo("vloads", InstrKind.VECTOR_LOAD, access=MemAccess.STRIDED)
+    VGATHER = OpcodeInfo("vgather", InstrKind.VECTOR_LOAD, access=MemAccess.INDEXED)
+    VSTORE = OpcodeInfo("vstore", InstrKind.VECTOR_STORE, access=MemAccess.UNIT)
+    VSTORES = OpcodeInfo("vstores", InstrKind.VECTOR_STORE, access=MemAccess.STRIDED)
+    VSCATTER = OpcodeInfo("vscatter", InstrKind.VECTOR_STORE, access=MemAccess.INDEXED)
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return self.value
+
+    @property
+    def kind(self) -> InstrKind:
+        return self.value.kind
+
+    @property
+    def is_vector(self) -> bool:
+        return self.value.is_vector
+
+    @property
+    def is_memory(self) -> bool:
+        return self.value.is_memory
+
+    @property
+    def fu2_only(self) -> bool:
+        return self.value.fu2_only
+
+    def __str__(self) -> str:
+        return self.value.name
+
+
+#: Opcodes whose vector result is produced by a functional unit (and can
+#: therefore chain into another functional unit or into a store).
+VECTOR_COMPUTE_OPCODES = frozenset(op for op in Opcode if op.kind is InstrKind.VECTOR_ALU)
+
+#: Vector memory opcodes (loads and stores, all addressing modes).
+VECTOR_MEMORY_OPCODES = frozenset(
+    op for op in Opcode if op.kind in (InstrKind.VECTOR_LOAD, InstrKind.VECTOR_STORE)
+)
+
+
+def opcode_by_name(name: str) -> Opcode:
+    """Look an opcode up by its mnemonic (e.g. ``"vadd"``)."""
+    name = name.strip().lower()
+    for op in Opcode:
+        if op.value.name == name:
+            return op
+    raise ValueError(f"unknown opcode {name!r}")

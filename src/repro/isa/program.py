@@ -1,0 +1,117 @@
+"""Program and basic-block containers.
+
+A :class:`Program` is an ordered list of labelled basic blocks, the output
+of the kernel compiler and the input of the trace generator.  Control flow
+is expressed through branch instructions whose targets are block labels;
+fall-through goes to the next block in program order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import TraceError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import InstrKind, Opcode
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of instructions with a single entry label."""
+
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    def extend(self, instructions: list[Instruction]) -> None:
+        self.instructions.extend(instructions)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The final branch of the block, if it ends in one."""
+        if self.instructions and self.instructions[-1].is_branch:
+            return self.instructions[-1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"    {instr}" for instr in self.instructions)
+        return "\n".join(lines)
+
+
+@dataclass
+class Program:
+    """A compiled program: an ordered collection of basic blocks."""
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    def add_block(self, label: str) -> BasicBlock:
+        """Create, append and return a new empty basic block."""
+        if any(block.label == label for block in self.blocks):
+            raise TraceError(f"duplicate basic-block label {label!r} in {self.name}")
+        block = BasicBlock(label)
+        self.blocks.append(block)
+        return block
+
+    def block_index(self, label: str) -> int:
+        for idx, block in enumerate(self.blocks):
+            if block.label == label:
+                return idx
+        raise TraceError(f"no basic block labelled {label!r} in program {self.name}")
+
+    def block(self, label: str) -> BasicBlock:
+        return self.blocks[self.block_index(label)]
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise TraceError(f"program {self.name} has no basic blocks")
+        return self.blocks[0]
+
+    def validate(self) -> None:
+        """Check that every branch target exists and labels are unique."""
+        labels = [block.label for block in self.blocks]
+        if len(labels) != len(set(labels)):
+            raise TraceError(f"duplicate basic-block labels in program {self.name}")
+        label_set = set(labels)
+        for block in self.blocks:
+            for instr in block:
+                if instr.is_branch and instr.opcode is not Opcode.RET:
+                    if instr.target not in label_set:
+                        raise TraceError(
+                            f"branch in block {block.label!r} targets unknown "
+                            f"label {instr.target!r}"
+                        )
+                elif not instr.is_branch and instr.target is not None:
+                    raise TraceError(
+                        f"non-branch instruction {instr} carries a branch target"
+                    )
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block
+
+    def static_counts(self) -> dict[InstrKind, int]:
+        """Static instruction counts per kind."""
+        counts: dict[InstrKind, int] = {}
+        for instr in self.all_instructions():
+            counts[instr.kind] = counts.get(instr.kind, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def __str__(self) -> str:
+        header = f"; program {self.name} ({len(self)} static instructions)"
+        return "\n".join([header] + [str(block) for block in self.blocks])

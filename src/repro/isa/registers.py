@@ -1,0 +1,113 @@
+"""Architected register classes and names.
+
+The ISA follows the Convex C34 register model described in Section 2.1 of
+the paper:
+
+* ``A`` registers — scalar address/integer registers,
+* ``S`` registers — scalar (floating point / general) registers,
+* ``V`` registers — vector registers holding up to 128 elements of 64 bits,
+* ``VM`` registers — vector mask registers.
+
+Each class has 8 architected registers.  Physical registers (used only by
+the OOOVA renaming machinery) are plain integers per class and live in
+``repro.ooo.rename``; this module only describes the *architected* names
+that appear in programs and traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.params import (
+    NUM_ARCH_AREGS,
+    NUM_ARCH_MASKREGS,
+    NUM_ARCH_SREGS,
+    NUM_ARCH_VREGS,
+)
+
+
+class RegClass(enum.Enum):
+    """The four architected register classes."""
+
+    A = "a"
+    S = "s"
+    V = "v"
+    VM = "vm"
+
+    @property
+    def is_scalar(self) -> bool:
+        return self in (RegClass.A, RegClass.S)
+
+    @property
+    def is_vector(self) -> bool:
+        return self is RegClass.V
+
+    @property
+    def count(self) -> int:
+        """Number of architected registers in this class."""
+        return _ARCH_COUNTS[self]
+
+
+_ARCH_COUNTS = {
+    RegClass.A: NUM_ARCH_AREGS,
+    RegClass.S: NUM_ARCH_SREGS,
+    RegClass.V: NUM_ARCH_VREGS,
+    RegClass.VM: NUM_ARCH_MASKREGS,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Register:
+    """An architected register, e.g. ``v3`` or ``s1``."""
+
+    cls: RegClass
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.cls.count:
+            raise ValueError(
+                f"register index {self.index} out of range for class "
+                f"{self.cls.name} (0..{self.cls.count - 1})"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.cls.value}{self.index}"
+
+    def __repr__(self) -> str:
+        return f"Register({self})"
+
+
+def areg(index: int) -> Register:
+    """Return architected address register ``a<index>``."""
+    return Register(RegClass.A, index)
+
+
+def sreg(index: int) -> Register:
+    """Return architected scalar register ``s<index>``."""
+    return Register(RegClass.S, index)
+
+
+def vreg(index: int) -> Register:
+    """Return architected vector register ``v<index>``."""
+    return Register(RegClass.V, index)
+
+
+def vmreg(index: int) -> Register:
+    """Return architected vector-mask register ``vm<index>``."""
+    return Register(RegClass.VM, index)
+
+
+def parse_register(text: str) -> Register:
+    """Parse a register name such as ``"v3"``, ``"a0"`` or ``"vm1"``."""
+    text = text.strip().lower()
+    for cls in (RegClass.VM, RegClass.V, RegClass.A, RegClass.S):
+        prefix = cls.value
+        if text.startswith(prefix) and text[len(prefix):].isdigit():
+            return Register(cls, int(text[len(prefix):]))
+    raise ValueError(f"cannot parse register name {text!r}")
+
+
+def all_registers(cls: RegClass) -> list[Register]:
+    """Return every architected register of a class, in index order."""
+    return [Register(cls, i) for i in range(cls.count)]

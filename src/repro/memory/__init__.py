@@ -1,0 +1,5 @@
+"""Main-memory timing model shared by both simulators."""
+
+from repro.memory.system import MemorySystem, MemoryTiming
+
+__all__ = ["MemorySystem", "MemoryTiming"]

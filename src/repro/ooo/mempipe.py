@@ -1,0 +1,102 @@
+"""The OOOVA memory pipeline: Issue/RF, Range and Dependence stages.
+
+Section 2.2: memory instructions first proceed *in order* through a
+three-stage pipeline.  The Range stage computes the range of addresses the
+instruction may touch — every byte between the base address and
+``base + (VL-1)*VS`` — and the Dependence stage compares that range against
+all previous memory instructions still in the queue.  Once an instruction is
+free of dependences it may issue its memory requests out of order.
+
+Under dynamic load elimination (Section 6.2) *all* instructions that use a
+vector register pass through this pipeline so that vector renaming happens
+at a single point; the machine model charges that extra in-order traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.resources import InOrderPipe
+from repro.trace.records import DynInstr
+
+
+@dataclass
+class _PendingAccess:
+    """A memory instruction that has issued (or will issue) its addresses."""
+
+    seq: int
+    region_start: int
+    region_end: int
+    is_store: bool
+    #: cycle at which its last address has been sent (dependence released)
+    address_done: int
+
+
+class MemoryPipeline:
+    """In-order front end of the memory queue plus run-time disambiguation."""
+
+    def __init__(self, depth: int = 3) -> None:
+        self.pipe = InOrderPipe(depth=depth)
+        self._pending: list[_PendingAccess] = []
+        self.dependence_stalls = 0
+
+    # -- in-order address pipeline ---------------------------------------------
+
+    def traverse(self, enter_time: int) -> int:
+        """Pass one instruction through the Issue/RF → Range → Dependence stages."""
+        return self.pipe.advance(enter_time)
+
+    # -- run-time memory disambiguation ------------------------------------------
+
+    def dependence_ready(self, instr: DynInstr, earliest: int) -> int:
+        """Earliest cycle at which ``instr`` is free of memory dependences.
+
+        A load must wait for every older overlapping store; a store must wait
+        for every older overlapping access (load or store).  "Waiting" means
+        waiting until the older access has finished sending its addresses —
+        at that point it has left the memory queue and no longer blocks.
+        """
+        ready = earliest
+        if instr.region_start is None:
+            return ready
+        for pending in self._pending:
+            if pending.address_done <= ready:
+                continue
+            overlap = (
+                pending.region_start < instr.region_end
+                and instr.region_start < pending.region_end
+            )
+            if not overlap:
+                continue
+            if instr.is_store or pending.is_store:
+                ready = max(ready, pending.address_done)
+                self.dependence_stalls += 1
+        return ready
+
+    def register_access(self, instr: DynInstr, address_done: int) -> None:
+        """Record an access so that younger instructions can be checked against it."""
+        if instr.region_start is None:
+            return
+        self._pending.append(
+            _PendingAccess(
+                seq=instr.seq,
+                region_start=instr.region_start,
+                region_end=instr.region_end,
+                is_store=instr.is_store,
+                address_done=address_done,
+            )
+        )
+        self._prune()
+
+    def _prune(self) -> None:
+        """Drop accesses that can no longer constrain anything new.
+
+        Every younger memory instruction leaves the in-order address pipeline
+        strictly after ``pipe.last_exit``, so accesses whose addresses were
+        fully sent by then can never delay it.  This keeps the pending list
+        short regardless of trace length.
+        """
+        if len(self._pending) < 256:
+            return
+        horizon = self.pipe.last_exit
+        self._pending = [entry for entry in self._pending if entry.address_done > horizon]

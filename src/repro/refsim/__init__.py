@@ -1,0 +1,6 @@
+"""The in-order reference architecture simulator (Convex C3400 model)."""
+
+from repro.refsim.machine import ReferenceSimulator, simulate_reference
+from repro.refsim.regfile import BankedVectorRegisterFile
+
+__all__ = ["ReferenceSimulator", "simulate_reference", "BankedVectorRegisterFile"]

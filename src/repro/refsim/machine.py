@@ -1,0 +1,319 @@
+"""Cycle-level simulator of the in-order reference architecture (Convex C3400).
+
+The model follows Section 2.1 of the paper:
+
+* a scalar unit issuing at most one instruction per cycle, in program order;
+* two vector computation units — FU1 (everything except multiply, divide and
+  square root) and FU2 (general purpose) — plus one memory unit (MEM);
+* eight vector registers of 128 × 64-bit elements, grouped two per bank with
+  two read ports and one write port per bank;
+* chaining from functional units to functional units and to the store unit,
+  but **no** chaining of memory loads into functional units;
+* a single memory address port shared by every kind of access.
+
+Instruction issue is strictly in order: when the instruction at the head of
+the stream cannot be dispatched (its unit is busy, an operand is not ready
+under the chaining rules, a register-bank port is unavailable, or a register
+hazard exists), issue stalls and everything behind it waits.  That stall
+behaviour — and the memory-port idle time it creates — is what Figures 3 and
+4 of the paper quantify and what the OOOVA is designed to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.params import ReferenceParams
+from repro.common.stats import SimStats
+from repro.isa.opcodes import InstrKind, Opcode
+from repro.isa.registers import RegClass, Register
+from repro.memory.system import MemorySystem
+from repro.refsim.regfile import BankedVectorRegisterFile
+from repro.trace.records import DynInstr, Trace
+
+#: iterations of the port-conflict fixed point before giving up and taking
+#: the conservative (latest) estimate
+_PORT_NEGOTIATION_ROUNDS = 8
+
+
+@dataclass
+class _RegState:
+    """Timing state of one architected register."""
+
+    ready: int = 0
+    first_result: int = 0
+    from_load: bool = False
+    read_until: int = 0
+
+
+@dataclass
+class _UnitState:
+    """A vector functional unit of the in-order machine."""
+
+    name: str
+    free_at: int = 0
+
+
+class ReferenceSimulator:
+    """Trace-driven timing simulator of the reference (in-order) machine."""
+
+    def __init__(self, params: ReferenceParams | None = None) -> None:
+        self.params = params or ReferenceParams()
+
+    def run(self, trace: Trace) -> SimStats:
+        """Simulate ``trace`` and return the collected statistics."""
+        return _ReferenceRun(self.params, trace).execute()
+
+
+class _ReferenceRun:
+    """State of one simulation; separated so the simulator object is reusable."""
+
+    def __init__(self, params: ReferenceParams, trace: Trace) -> None:
+        self.params = params
+        self.trace = trace
+        self.lat = params.latencies
+        self.memory = MemorySystem(params.memory, params.latencies)
+        self.regfile = BankedVectorRegisterFile(
+            params.num_vregs,
+            params.vregs_per_bank,
+            params.bank_read_ports,
+            params.bank_write_ports,
+        )
+        self.stats = SimStats()
+        self.regs: dict[Register, _RegState] = {}
+        self.fu1 = _UnitState("FU1")
+        self.fu2 = _UnitState("FU2")
+        self.mem_unit = _UnitState("MEM")
+        self.issue_ready = 0
+        self.horizon = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _reg(self, register: Register) -> _RegState:
+        state = self.regs.get(register)
+        if state is None:
+            state = _RegState()
+            self.regs[register] = state
+        return state
+
+    def _advance_horizon(self, *times: int) -> None:
+        for time in times:
+            if time > self.horizon:
+                self.horizon = time
+
+    def _vector_effective_latency(self, opcode: Opcode) -> int:
+        op_latency = self.lat.vector_op_latency(opcode.info.latency_class)
+        return self.lat.read_crossbar + op_latency + self.lat.write_crossbar
+
+    def _source_ready(self, register: Register, for_store: bool) -> int:
+        """Earliest cycle a consumer may start reading ``register``."""
+        state = self._reg(register)
+        if register.cls in (RegClass.A, RegClass.S):
+            return state.ready
+        if state.from_load:
+            # Loads do not chain into functional units (or into stores).
+            return state.ready
+        chain = self.params.chain_fu_to_store if for_store else self.params.chain_fu_to_fu
+        return state.first_result if chain else state.ready
+
+    def _dest_constraint(self, register: Register) -> int:
+        """WAW / WAR constraint: the old value's writer and readers must finish."""
+        state = self._reg(register)
+        return max(state.ready, state.read_until)
+
+    # -- main loop ------------------------------------------------------------
+
+    def execute(self) -> SimStats:
+        for dyn in self.trace:
+            kind = dyn.kind
+            if kind is InstrKind.VECTOR_ALU:
+                self._run_vector_compute(dyn)
+            elif kind in (InstrKind.VECTOR_LOAD, InstrKind.VECTOR_STORE):
+                self._run_vector_memory(dyn)
+            elif kind in (InstrKind.SCALAR_LOAD, InstrKind.SCALAR_STORE):
+                self._run_scalar_memory(dyn)
+            elif kind is InstrKind.BRANCH:
+                self._run_branch(dyn)
+            else:
+                self._run_scalar(dyn)
+
+        self.stats.cycles = self.horizon
+        self.stats.address_port_busy_cycles = self.memory.busy_cycles
+        return self.stats
+
+    # -- instruction classes ----------------------------------------------------
+
+    def _run_scalar(self, dyn: DynInstr) -> None:
+        self.stats.scalar_instructions += 1
+        start = self.issue_ready
+        for src in dyn.srcs:
+            start = max(start, self._reg(src).ready)
+        latency = self.lat.vector_op_latency(dyn.opcode.info.latency_class) \
+            if dyn.opcode.info.latency_class in ("scalar_alu", "scalar_mul", "scalar_div") \
+            else self.lat.scalar_alu
+        done = start + latency
+        if dyn.dest is not None:
+            dest = self._reg(dyn.dest)
+            dest.ready = done
+            dest.first_result = done
+            dest.from_load = False
+        self.issue_ready = start + 1
+        self._advance_horizon(done, start + 1)
+
+    def _run_branch(self, dyn: DynInstr) -> None:
+        self.stats.branch_instructions += 1
+        start = self.issue_ready
+        for src in dyn.srcs:
+            start = max(start, self._reg(src).ready)
+        penalty = self.params.taken_branch_penalty if dyn.taken else 0
+        self.issue_ready = start + 1 + penalty
+        self._advance_horizon(self.issue_ready)
+
+    def _run_scalar_memory(self, dyn: DynInstr) -> None:
+        self.stats.scalar_instructions += 1
+        start = self.issue_ready
+        for src in dyn.srcs:
+            start = max(start, self._reg(src).ready)
+        if dyn.is_load:
+            timing = self.memory.scalar_load(start)
+            if dyn.dest is not None:
+                dest = self._reg(dyn.dest)
+                dest.ready = timing.data_ready
+                dest.first_result = timing.data_ready
+                dest.from_load = True
+            self.stats.traffic.scalar_load_ops += 1
+            if dyn.is_spill:
+                self.stats.traffic.scalar_load_spill_ops += 1
+        else:
+            timing = self.memory.scalar_store(start)
+            self.stats.traffic.scalar_store_ops += 1
+            if dyn.is_spill:
+                self.stats.traffic.scalar_store_spill_ops += 1
+        self.issue_ready = timing.start + 1
+        self._advance_horizon(timing.data_ready, timing.start + 1)
+
+    def _select_compute_unit(self, dyn: DynInstr) -> _UnitState:
+        if dyn.opcode.fu2_only:
+            return self.fu2
+        if self.fu1.free_at <= self.fu2.free_at:
+            return self.fu1
+        return self.fu2
+
+    def _run_vector_compute(self, dyn: DynInstr) -> None:
+        self.stats.vector_instructions += 1
+        self.stats.vector_operations += dyn.vl
+        vl = max(dyn.vl, 1)
+        unit = self._select_compute_unit(dyn)
+        effective_latency = self._vector_effective_latency(dyn.opcode)
+
+        start = max(self.issue_ready, unit.free_at)
+        for src in dyn.srcs:
+            start = max(start, self._source_ready(src, for_store=False))
+        if dyn.dest is not None:
+            start = max(start, self._dest_constraint(dyn.dest))
+
+        start = self._negotiate_ports(dyn, start, vl, effective_latency)
+        self._reserve_ports(dyn, start, vl, effective_latency)
+
+        busy_until = start + vl + self.lat.vector_startup
+        unit.free_at = busy_until
+        self.stats.record_unit_busy(unit.name, start, busy_until)
+
+        first_result = start + effective_latency
+        completion = first_result + vl
+        for src in dyn.srcs:
+            if src.cls in (RegClass.V, RegClass.VM):
+                state = self._reg(src)
+                state.read_until = max(state.read_until, start + vl)
+        if dyn.dest is not None:
+            dest = self._reg(dyn.dest)
+            dest.from_load = False
+            if dyn.dest.cls in (RegClass.V, RegClass.VM):
+                dest.first_result = first_result
+                dest.ready = completion
+            else:
+                # reductions (vsum) deliver their scalar result at the end
+                dest.first_result = completion
+                dest.ready = completion
+
+        self.issue_ready = start + 1
+        self._advance_horizon(completion, busy_until, start + 1)
+
+    def _negotiate_ports(self, dyn: DynInstr, start: int, vl: int, latency: int) -> int:
+        """Find the earliest start at which all needed register-file ports fit."""
+        candidate = start
+        for _ in range(_PORT_NEGOTIATION_ROUNDS):
+            adjusted = candidate
+            for src in dyn.srcs:
+                if src.cls is RegClass.V:
+                    adjusted = max(adjusted, self.regfile.earliest_read(src, candidate, vl))
+            if dyn.dest is not None and dyn.dest.cls is RegClass.V:
+                write_start = adjusted + latency
+                available = self.regfile.earliest_write(dyn.dest, write_start, vl)
+                adjusted = max(adjusted, available - latency)
+            if adjusted == candidate:
+                return candidate
+            candidate = adjusted
+        return candidate
+
+    def _reserve_ports(self, dyn: DynInstr, start: int, vl: int, latency: int) -> None:
+        for src in dyn.srcs:
+            if src.cls is RegClass.V:
+                self.regfile.reserve_read(src, start, vl)
+        if dyn.dest is not None and dyn.dest.cls is RegClass.V:
+            self.regfile.reserve_write(dyn.dest, start + latency, vl)
+
+    def _run_vector_memory(self, dyn: DynInstr) -> None:
+        self.stats.vector_instructions += 1
+        self.stats.vector_operations += dyn.vl
+        vl = max(dyn.vl, 1)
+
+        start = max(self.issue_ready, self.mem_unit.free_at)
+        if dyn.is_load:
+            for src in dyn.srcs:
+                # base address (A) and, for gathers, the index vector, which
+                # must be completely available before addresses can be formed
+                start = max(start, self._reg(src).ready)
+            if dyn.dest is not None:
+                start = max(start, self._dest_constraint(dyn.dest))
+            start = max(start, self.regfile.earliest_write(
+                dyn.dest, start + self.params.memory.latency, vl) - self.params.memory.latency)
+
+            timing = self.memory.vector_load(start, vl)
+            self.regfile.reserve_write(dyn.dest, timing.start + self.params.memory.latency, vl)
+            dest = self._reg(dyn.dest)
+            dest.from_load = True
+            dest.first_result = timing.start + self.params.memory.latency
+            dest.ready = timing.data_ready
+            self.stats.traffic.vector_load_ops += vl
+            if dyn.is_spill:
+                self.stats.traffic.vector_load_spill_ops += vl
+        else:
+            value_reg = dyn.srcs[0]
+            start = max(start, self._source_ready(value_reg, for_store=True))
+            for src in dyn.srcs[1:]:
+                start = max(start, self._reg(src).ready)
+            if value_reg.cls is RegClass.V:
+                start = max(start, self.regfile.earliest_read(value_reg, start, vl))
+
+            timing = self.memory.vector_store(start, vl)
+            if value_reg.cls is RegClass.V:
+                self.regfile.reserve_read(value_reg, timing.start, vl)
+                state = self._reg(value_reg)
+                state.read_until = max(state.read_until, timing.address_done)
+            self.stats.traffic.vector_store_ops += vl
+            if dyn.is_spill:
+                self.stats.traffic.vector_store_spill_ops += vl
+
+        self.mem_unit.free_at = timing.address_done
+        self.stats.record_unit_busy("MEM", timing.start, timing.address_done)
+        self.issue_ready = timing.start + 1
+        self._advance_horizon(timing.data_ready, timing.address_done, timing.start + 1)
+
+
+def simulate_reference(trace: Trace, params: ReferenceParams | None = None) -> SimStats:
+    """Convenience wrapper: run ``trace`` through the reference simulator."""
+    if len(trace) == 0:
+        raise SimulationError("cannot simulate an empty trace")
+    return ReferenceSimulator(params).run(trace)

@@ -1,0 +1,19 @@
+"""Trace representation, generation (the Dixie substitute) and statistics."""
+
+from repro.trace.generator import (
+    DEFAULT_MAX_DYNAMIC_INSTRUCTIONS,
+    TraceGenerator,
+    generate_trace,
+)
+from repro.trace.records import DynInstr, Trace
+from repro.trace.stats import TraceStatistics, compute_trace_statistics
+
+__all__ = [
+    "DEFAULT_MAX_DYNAMIC_INSTRUCTIONS",
+    "TraceGenerator",
+    "generate_trace",
+    "DynInstr",
+    "Trace",
+    "TraceStatistics",
+    "compute_trace_statistics",
+]

@@ -1,0 +1,47 @@
+"""Synthetic re-creations of the paper's ten benchmark programs."""
+
+from repro.workloads.arc2d import Arc2D
+from repro.workloads.base import (
+    SCALES,
+    Workload,
+    WorkloadCharacteristics,
+    clear_workload_caches,
+    scaled,
+)
+from repro.workloads.bdna import Bdna
+from repro.workloads.dyfesm import Dyfesm
+from repro.workloads.flo52 import Flo52
+from repro.workloads.hydro2d import Hydro2D
+from repro.workloads.nasa7 import Nasa7
+from repro.workloads.registry import (
+    WORKLOAD_CLASSES,
+    WORKLOAD_NAMES,
+    all_workloads,
+    get_workload,
+)
+from repro.workloads.su2cor import Su2Cor
+from repro.workloads.swm256 import SWM256
+from repro.workloads.tomcatv import Tomcatv
+from repro.workloads.trfd import Trfd
+
+__all__ = [
+    "Arc2D",
+    "SCALES",
+    "Workload",
+    "WorkloadCharacteristics",
+    "clear_workload_caches",
+    "scaled",
+    "Bdna",
+    "Dyfesm",
+    "Flo52",
+    "Hydro2D",
+    "Nasa7",
+    "WORKLOAD_CLASSES",
+    "WORKLOAD_NAMES",
+    "all_workloads",
+    "get_workload",
+    "Su2Cor",
+    "SWM256",
+    "Tomcatv",
+    "Trfd",
+]

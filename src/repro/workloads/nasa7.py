@@ -1,0 +1,129 @@
+"""nasa7 — the NASA Ames kernel collection (SPECfp92).
+
+nasa7 is a collection of seven numerical kernels (matrix multiply, 2-D FFT,
+Cholesky factorisation, block tridiagonal solve, vortex generation, Gaussian
+elimination and a pentadiagonal solver).  Because each kernel is a separate
+subroutine, the dynamic instruction stream contains call/return pairs —
+exercising the OOOVA's return-address stack — and a mix of long unit-stride,
+strided and reduction-style vector work.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.workloads.base import Workload, WorkloadCharacteristics, scaled
+
+
+class Nasa7(Workload):
+    """A rotation over subroutine kernels: mxm, vpenta, cholsky and fft2d."""
+
+    name = "nasa7"
+    suite = "Specfp92"
+    characteristics = WorkloadCharacteristics(
+        vectorization_percent=95.0,
+        average_vector_length=100.0,
+        spill_fraction=0.19,
+        description="seven floating-point kernels from NASA Ames",
+    )
+
+    def build_kernel(self) -> ir.Kernel:
+        n = scaled(512, self.scale, minimum=192)
+        passes = scaled(3, self.scale, minimum=1)
+
+        a = ir.Array("a", n)
+        b = ir.Array("b", n)
+        c = ir.Array("c", n)
+        d = ir.Array("d", n)
+        x = ir.Array("x", n)
+        y = ir.Array("y", n)
+        re = ir.Array("re", n)
+        im = ir.Array("im", n)
+
+        # mxm: rank-1 style update, accumulating a dot product per pass.
+        mxm = ir.Routine(
+            "mxm",
+            (
+                ir.VectorLoop(
+                    "mxm_update",
+                    trip=n,
+                    statements=(
+                        ir.VectorAssign(c.ref(), c.ref() + a.ref() * ir.ScalarOperand("bscal", 1.5)),
+                        ir.Reduce(a.ref() * b.ref(), "mxm_dot"),
+                    ),
+                ),
+            ),
+        )
+
+        # vpenta: pentadiagonal elimination sweep with a divide.
+        vpenta = ir.Routine(
+            "vpenta",
+            (
+                ir.VectorLoop(
+                    "vpenta_sweep",
+                    trip=n - 4,
+                    statements=(
+                        ir.VectorAssign(
+                            x.ref(),
+                            (d.ref() - a.ref() * x.ref(offset=1) - b.ref() * x.ref(offset=2)
+                             - a.ref(offset=1) * x.ref(offset=3) - b.ref(offset=1) * x.ref(offset=4)
+                             + d.ref(offset=1) * ir.Const(0.1))
+                            / (c.ref() + c.ref(offset=1) + ir.Const(1.0)),
+                        ),
+                    ),
+                ),
+            ),
+        )
+
+        # cholsky: scaled square roots along the diagonal blocks.
+        cholsky = ir.Routine(
+            "cholsky",
+            (
+                ir.VectorLoop(
+                    "cholsky_diag",
+                    trip=n,
+                    statements=(
+                        ir.VectorAssign(y.ref(), ir.sqrt(d.ref() * d.ref() + ir.Const(0.01))),
+                        ir.VectorAssign(d.ref(), d.ref() - y.ref() * ir.Const(0.5)),
+                    ),
+                ),
+                ir.ScalarWork("cholsky_pivot", alu_ops=6, mul_ops=2, loads=2, stores=1),
+            ),
+        )
+
+        # fft2d: butterfly pass over the real/imaginary planes with stride-2
+        # accesses (even/odd interleave).
+        fft2d = ir.Routine(
+            "fft2d",
+            (
+                ir.VectorLoop(
+                    "fft_butterfly",
+                    trip=n // 2,
+                    statements=(
+                        ir.VectorAssign(
+                            re.ref(stride=2),
+                            re.ref(stride=2) + re.ref(offset=1, stride=2) * ir.ScalarOperand("wr", 0.7),
+                        ),
+                        ir.VectorAssign(
+                            im.ref(stride=2),
+                            im.ref(stride=2) + im.ref(offset=1, stride=2) * ir.ScalarOperand("wi", 0.7),
+                        ),
+                    ),
+                ),
+            ),
+        )
+
+        kernel = ir.Kernel(self.name)
+        kernel.add(
+            ir.Loop(
+                "nasa7_pass",
+                passes,
+                (
+                    ir.CallRoutine(mxm),
+                    ir.CallRoutine(vpenta),
+                    ir.CallRoutine(cholsky),
+                    ir.CallRoutine(fft2d),
+                    ir.ScalarWork("nasa7_driver", alu_ops=8, loads=3, stores=2),
+                ),
+            )
+        )
+        return kernel

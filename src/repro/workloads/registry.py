@@ -1,0 +1,49 @@
+"""Workload registry: the ten benchmark programs of the paper, by name."""
+
+from __future__ import annotations
+
+from repro.common.errors import WorkloadError
+from repro.workloads.arc2d import Arc2D
+from repro.workloads.base import Workload
+from repro.workloads.bdna import Bdna
+from repro.workloads.dyfesm import Dyfesm
+from repro.workloads.flo52 import Flo52
+from repro.workloads.hydro2d import Hydro2D
+from repro.workloads.nasa7 import Nasa7
+from repro.workloads.su2cor import Su2Cor
+from repro.workloads.swm256 import SWM256
+from repro.workloads.tomcatv import Tomcatv
+from repro.workloads.trfd import Trfd
+
+#: the paper's benchmark set, in Table 2 order
+WORKLOAD_CLASSES: dict[str, type[Workload]] = {
+    "swm256": SWM256,
+    "hydro2d": Hydro2D,
+    "arc2d": Arc2D,
+    "flo52": Flo52,
+    "nasa7": Nasa7,
+    "su2cor": Su2Cor,
+    "tomcatv": Tomcatv,
+    "bdna": Bdna,
+    "trfd": Trfd,
+    "dyfesm": Dyfesm,
+}
+
+#: program names in the order the paper lists them
+WORKLOAD_NAMES: tuple[str, ...] = tuple(WORKLOAD_CLASSES)
+
+
+def get_workload(name: str, scale: str = "small") -> Workload:
+    """Instantiate a workload by its paper name (e.g. ``"trfd"``)."""
+    try:
+        cls = WORKLOAD_CLASSES[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
+        ) from exc
+    return cls(scale)
+
+
+def all_workloads(scale: str = "small") -> list[Workload]:
+    """Instantiate the full benchmark suite."""
+    return [cls(scale) for cls in WORKLOAD_CLASSES.values()]

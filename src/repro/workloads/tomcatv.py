@@ -1,0 +1,93 @@
+"""tomcatv — vectorised mesh generation (SPECfp92).
+
+TOMCATV generates two-dimensional boundary-fitted meshes.  Its vector loops
+are long (average vector length near the 128-element maximum) but a
+substantial share of the dynamic instruction count is scalar: residual
+bookkeeping, convergence testing and boundary handling.  That scalar tail is
+why tomcatv shows the *smallest* speedup from out-of-order issue in the
+paper (1.24 at 16 physical registers, Figure 5) — the vector side is easy to
+overlap, the scalar side is not.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.workloads.base import Workload, WorkloadCharacteristics, scaled
+
+
+class Tomcatv(Workload):
+    """Mesh-relaxation sweeps with a heavy scalar control tail."""
+
+    name = "tomcatv"
+    suite = "Specfp92"
+    characteristics = WorkloadCharacteristics(
+        vectorization_percent=88.0,
+        average_vector_length=125.0,
+        spill_fraction=0.15,
+        description="boundary-fitted coordinate mesh generation",
+    )
+
+    def build_kernel(self) -> ir.Kernel:
+        n = scaled(448, self.scale, minimum=224)
+        iterations = scaled(4, self.scale, minimum=1)
+
+        x = ir.Array("x", n)
+        y = ir.Array("y", n)
+        rx = ir.Array("rx", n)
+        ry = ir.Array("ry", n)
+        aa = ir.Array("aa", n)
+        dd = ir.Array("dd", n)
+
+        relax = ir.ScalarOperand("relax", 0.65)
+
+        # Residual computation: second differences of both coordinate planes.
+        residual = ir.VectorLoop(
+            "tomcatv_residual",
+            trip=n - 2,
+            statements=(
+                ir.VectorAssign(
+                    rx.ref(),
+                    x.ref(offset=2) - ir.Const(2.0) * x.ref(offset=1) + x.ref()
+                    + (y.ref(offset=2) - y.ref()) * ir.Const(0.25),
+                ),
+                ir.VectorAssign(
+                    ry.ref(),
+                    y.ref(offset=2) - ir.Const(2.0) * y.ref(offset=1) + y.ref()
+                    - (x.ref(offset=2) - x.ref()) * ir.Const(0.25),
+                ),
+                ir.VectorAssign(
+                    aa.ref(),
+                    (x.ref(offset=1) - x.ref()) * (x.ref(offset=1) - x.ref())
+                    + (y.ref(offset=1) - y.ref()) * (y.ref(offset=1) - y.ref()),
+                ),
+                ir.VectorAssign(dd.ref(), aa.ref() + ir.Const(0.01)),
+            ),
+        )
+
+        # Tridiagonal-ish relaxation update of the mesh coordinates.
+        update = ir.VectorLoop(
+            "tomcatv_update",
+            trip=n - 2,
+            statements=(
+                ir.VectorAssign(x.ref(offset=1), x.ref(offset=1) + relax * rx.ref() / dd.ref()),
+                ir.VectorAssign(y.ref(offset=1), y.ref(offset=1) + relax * ry.ref() / dd.ref()),
+                ir.Reduce(rx.ref() * rx.ref() + ry.ref() * ry.ref(), "residual_norm"),
+            ),
+        )
+
+        # Convergence testing, boundary conditions and I/O bookkeeping are
+        # scalar and make up a large share of the dynamic instructions: Table 2
+        # reports roughly seventeen scalar instructions per vector instruction
+        # for tomcatv, which is why it benefits least from out-of-order issue.
+        convergence = ir.ScalarWork(
+            "tomcatv_convergence", alu_ops=240, mul_ops=60, loads=90, stores=50, footprint=48
+        )
+        boundary = ir.ScalarWork(
+            "tomcatv_boundary", alu_ops=150, mul_ops=40, loads=70, stores=40, footprint=48
+        )
+
+        kernel = ir.Kernel(self.name)
+        kernel.add(
+            ir.Loop("tomcatv_iter", iterations, (residual, update, convergence, boundary))
+        )
+        return kernel

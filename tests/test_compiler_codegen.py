@@ -1,0 +1,208 @@
+"""Unit tests for code generation (IR → virtual-register vector code)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.codegen import (
+    DATA_SEGMENT_BASE,
+    CodeGenerator,
+    SPILL_BASE_REGISTER,
+    VirtReg,
+    generate_code,
+    layout_memory,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegClass
+
+
+def _loop_kernel(statements, trip=256, name="k", max_vl=128):
+    kernel = ir.Kernel(name)
+    kernel.add(ir.VectorLoop("loop", trip=trip, statements=tuple(statements), max_vl=max_vl))
+    return kernel
+
+
+def _all_instructions(code):
+    for block in code.blocks:
+        yield from block.instructions
+
+
+def _opcodes(code):
+    return [instr.opcode for instr in _all_instructions(code)]
+
+
+class TestMemoryLayout:
+    def test_arrays_laid_out_disjoint_and_aligned(self):
+        a = ir.Array("a", 100)
+        b = ir.Array("b", 50)
+        layout = layout_memory([a, b])
+        base_a = layout.base_of(a)
+        base_b = layout.base_of(b)
+        assert base_a == DATA_SEGMENT_BASE
+        assert base_b >= base_a + a.bytes
+        assert base_b % 64 == 0
+        assert layout.spill_base >= base_b + b.bytes
+
+    def test_unknown_array_rejected(self):
+        layout = layout_memory([])
+        with pytest.raises(Exception):
+            layout.base_of(ir.Array("ghost", 8))
+
+    def test_spill_slots_are_disjoint(self):
+        layout = layout_memory([ir.Array("a", 8)])
+        first = layout.allocate_spill_slot(1024)
+        second = layout.allocate_spill_slot(1024)
+        assert second >= first + 1024
+
+
+class TestVectorLoopLowering:
+    def test_axpy_structure(self):
+        a, b, c = (ir.Array(n, 256) for n in "abc")
+        code = generate_code(_loop_kernel(
+            [ir.VectorAssign(c.ref(), a.ref() * ir.ScalarOperand("alpha", 2.0) + b.ref())]))
+        ops = _opcodes(code)
+        assert Opcode.SETVL in ops
+        assert ops.count(Opcode.VLOAD) == 2
+        assert Opcode.VSMUL in ops
+        assert Opcode.VADD in ops
+        assert Opcode.VSTORE in ops
+        assert Opcode.BR in ops
+
+    def test_spill_pointer_initialised_first(self):
+        a = ir.Array("a", 64)
+        code = generate_code(_loop_kernel([ir.VectorAssign(a.ref(), a.ref() + 1.0)]))
+        first = code.blocks[0].instructions[0]
+        assert first.opcode is Opcode.LI and first.dest == SPILL_BASE_REGISTER
+
+    def test_cse_of_repeated_loads(self):
+        a, b = ir.Array("a", 128), ir.Array("b", 128)
+        code = generate_code(_loop_kernel(
+            [ir.VectorAssign(b.ref(), a.ref() * a.ref() + a.ref())]))
+        assert _opcodes(code).count(Opcode.VLOAD) == 1
+
+    def test_offsets_folded_into_immediates(self):
+        a, b = ir.Array("a", 128), ir.Array("b", 128)
+        code = generate_code(_loop_kernel(
+            [ir.VectorAssign(b.ref(), a.ref(offset=1) - a.ref())]))
+        loads = [i for i in _all_instructions(code) if i.opcode is Opcode.VLOAD]
+        # Two loads of the same array at different offsets share one base
+        # register and differ only in the immediate.
+        assert len(loads) == 2
+        assert loads[0].srcs == loads[1].srcs
+        assert {instr.imm for instr in loads} == {None, 8}
+
+    def test_strided_access_emits_setvs_and_strided_ops(self):
+        a, b = ir.Array("a", 256), ir.Array("b", 256)
+        code = generate_code(_loop_kernel(
+            [ir.VectorAssign(b.ref(stride=2), a.ref(stride=2) + 1.0)], trip=100))
+        ops = _opcodes(code)
+        assert Opcode.SETVS in ops
+        assert Opcode.VLOADS in ops
+        assert Opcode.VSTORES in ops
+
+    def test_gather_and_scatter(self):
+        table = ir.Array("table", 512)
+        idx = ir.Array("idx", 128)
+        out = ir.Array("out", 128)
+        kernel = _loop_kernel([
+            ir.VectorAssign(out.ref(), table.gather(idx.ref()) * 2.0),
+            ir.VectorAssign(table.gather(idx.ref()), out.ref()),
+        ], trip=128)
+        code = generate_code(kernel)
+        ops = _opcodes(code)
+        assert Opcode.VGATHER in ops
+        assert Opcode.VSCATTER in ops
+        gather = next(i for i in _all_instructions(code) if i.opcode is Opcode.VGATHER)
+        assert gather.region_bytes == table.bytes
+
+    def test_divide_and_sqrt_selected(self):
+        a, b = ir.Array("a", 64), ir.Array("b", 64)
+        code = generate_code(_loop_kernel(
+            [ir.VectorAssign(b.ref(), ir.sqrt(a.ref()) / (a.ref() + 1.0))]))
+        ops = _opcodes(code)
+        assert Opcode.VSQRT in ops and Opcode.VDIV in ops
+
+    def test_select_lowered_to_vcmp_and_vmerge(self):
+        a, b = ir.Array("a", 64), ir.Array("b", 64)
+        code = generate_code(_loop_kernel([
+            ir.VectorAssign(b.ref(), ir.where(ir.compare("gt", a.ref(), 0.0), a.ref(), 0.0)),
+        ]))
+        ops = _opcodes(code)
+        assert Opcode.VCMP in ops and Opcode.VMERGE in ops
+
+    def test_reduce_lowered_to_vsum(self):
+        a = ir.Array("a", 64)
+        code = generate_code(_loop_kernel([ir.Reduce(a.ref(), "total")]))
+        ops = _opcodes(code)
+        assert Opcode.VSUM in ops and Opcode.FADD in ops
+
+    def test_max_vl_clamp_in_setvl(self):
+        a = ir.Array("a", 64)
+        code = generate_code(_loop_kernel(
+            [ir.VectorAssign(a.ref(), a.ref() + 1.0)], trip=64, max_vl=32))
+        setvl = next(i for i in _all_instructions(code) if i.opcode is Opcode.SETVL)
+        assert setvl.imm == 32
+
+    def test_virtual_registers_created(self):
+        a = ir.Array("a", 64)
+        code = generate_code(_loop_kernel([ir.VectorAssign(a.ref(), a.ref() + 1.0)]))
+        assert code.virtual_counts[RegClass.V] > 0
+        assert code.virtual_counts[RegClass.A] > 0
+        assert any(isinstance(r, VirtReg) for i in _all_instructions(code)
+                   for r in i.registers())
+
+
+class TestOtherItems:
+    def test_scalar_work_emits_scalar_ops(self):
+        kernel = ir.Kernel("k")
+        kernel.add(ir.ScalarWork("w", alu_ops=4, mul_ops=2, loads=3, stores=1))
+        code = generate_code(kernel)
+        ops = _opcodes(code)
+        assert ops.count(Opcode.LOAD) == 3
+        assert ops.count(Opcode.STORE) == 1
+        assert ops.count(Opcode.FADD) == 4
+        assert ops.count(Opcode.FMUL) == 2
+
+    def test_outer_loop_emits_backedge(self):
+        a = ir.Array("a", 64)
+        inner = ir.VectorLoop("inner", trip=64,
+                              statements=(ir.VectorAssign(a.ref(), a.ref() + 1.0),))
+        kernel = ir.Kernel("k")
+        kernel.add(ir.Loop("outer", 3, (inner,)))
+        code = generate_code(kernel)
+        branches = [i for i in _all_instructions(code) if i.opcode is Opcode.BR]
+        assert len(branches) == 2  # strip-mine back-edge + outer back-edge
+
+    def test_routine_called_once_emitted_once(self):
+        a = ir.Array("a", 64)
+        routine = ir.Routine("helper", (
+            ir.VectorLoop("body", trip=64, statements=(ir.VectorAssign(a.ref(), a.ref() + 1.0),)),
+        ))
+        kernel = ir.Kernel("k")
+        kernel.add(ir.Loop("outer", 2, (ir.CallRoutine(routine), ir.CallRoutine(routine))))
+        code = generate_code(kernel)
+        ops = _opcodes(code)
+        assert ops.count(Opcode.CALL) == 2
+        assert ops.count(Opcode.RET) == 2  # program end + one routine body
+
+    def test_program_ends_with_ret_before_routines(self):
+        a = ir.Array("a", 64)
+        routine = ir.Routine("helper", (
+            ir.VectorLoop("body", trip=64, statements=(ir.VectorAssign(a.ref(), a.ref() + 1.0),)),
+        ))
+        kernel = ir.Kernel("k")
+        kernel.add(ir.CallRoutine(routine))
+        code = generate_code(kernel)
+        rets = [idx for idx, instr in enumerate(_all_instructions(code))
+                if instr.opcode is Opcode.RET]
+        assert len(rets) == 2
+
+    def test_loop_depth_annotation(self):
+        a = ir.Array("a", 64)
+        inner = ir.VectorLoop("inner", trip=64,
+                              statements=(ir.VectorAssign(a.ref(), a.ref() + 1.0),))
+        kernel = ir.Kernel("k")
+        kernel.add(ir.Loop("outer", 2, (inner,)))
+        code = CodeGenerator(kernel).generate()
+        depths = {block.label: block.depth for block in code.blocks}
+        strip_label = next(label for label in depths if "strip" in label)
+        assert depths[strip_label] == 2

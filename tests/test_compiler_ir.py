@@ -1,0 +1,151 @@
+"""Unit tests for the kernel IR."""
+
+import pytest
+
+from repro.common.errors import CompilationError
+from repro.compiler import ir
+
+
+class TestArray:
+    def test_bytes(self):
+        assert ir.Array("a", 10).bytes == 80
+
+    def test_positive_size_required(self):
+        with pytest.raises(CompilationError):
+            ir.Array("bad", 0)
+
+    def test_unique_uids(self):
+        assert ir.Array("a", 4).uid != ir.Array("a", 4).uid
+
+    def test_ref_and_gather_helpers(self):
+        a = ir.Array("a", 16)
+        idx = ir.Array("idx", 16)
+        ref = a.ref(offset=2, stride=3)
+        assert ref.offset == 2 and ref.stride == 3
+        gather = a.gather(idx.ref())
+        assert gather.array is a and gather.index.array is idx
+
+
+class TestExpressions:
+    def test_operator_overloads_build_binops(self):
+        a = ir.Array("a", 8)
+        expr = a.ref() * 2.0 + 1.0
+        assert isinstance(expr, ir.BinOp) and expr.op == "+"
+        assert isinstance(expr.lhs, ir.BinOp) and expr.lhs.op == "*"
+        assert isinstance(expr.rhs, ir.Const)
+
+    def test_reverse_operators(self):
+        a = ir.Array("a", 8)
+        expr = 2.0 - a.ref()
+        assert isinstance(expr, ir.BinOp) and expr.op == "-"
+        assert isinstance(expr.lhs, ir.Const)
+
+    def test_division(self):
+        a = ir.Array("a", 8)
+        assert (a.ref() / 4).op == "/"
+
+    def test_invalid_binop_operator(self):
+        a = ir.Array("a", 8)
+        with pytest.raises(CompilationError):
+            ir.BinOp("%", a.ref(), a.ref())
+
+    def test_unary_helpers(self):
+        a = ir.Array("a", 8)
+        assert ir.sqrt(a.ref()).op == "sqrt"
+        assert ir.vmin(a.ref(), 1.0).op == "min"
+        assert ir.vmax(a.ref(), 1.0).op == "max"
+
+    def test_invalid_unary(self):
+        with pytest.raises(CompilationError):
+            ir.UnaryOp("exp", ir.Const(1.0))
+
+    def test_compare_and_where(self):
+        a = ir.Array("a", 8)
+        cond = ir.compare("gt", a.ref(), 0.0)
+        select = ir.where(cond, a.ref(), 0.0)
+        assert isinstance(select, ir.Select)
+        assert select.cond.cond == "gt"
+
+    def test_invalid_compare(self):
+        with pytest.raises(CompilationError):
+            ir.compare("gtx", ir.Const(1.0), ir.Const(2.0))
+
+    def test_as_expr_rejects_strings(self):
+        with pytest.raises(CompilationError):
+            ir.as_expr("not an expression")
+
+    def test_zero_stride_rejected(self):
+        a = ir.Array("a", 8)
+        with pytest.raises(CompilationError):
+            a.ref(stride=0)
+
+
+class TestKernelItems:
+    def test_vector_loop_validation(self):
+        a = ir.Array("a", 8)
+        stmt = ir.VectorAssign(a.ref(), a.ref() + 1.0)
+        with pytest.raises(CompilationError):
+            ir.VectorLoop("bad", trip=0, statements=(stmt,))
+        with pytest.raises(CompilationError):
+            ir.VectorLoop("bad", trip=8, statements=())
+        with pytest.raises(CompilationError):
+            ir.VectorLoop("bad", trip=8, statements=(stmt,), max_vl=200)
+
+    def test_scalar_work_validation(self):
+        with pytest.raises(CompilationError):
+            ir.ScalarWork("bad", alu_ops=-1)
+        with pytest.raises(CompilationError):
+            ir.ScalarWork("bad", footprint=0)
+
+    def test_loop_validation(self):
+        a = ir.Array("a", 8)
+        loop = ir.VectorLoop("v", trip=8, statements=(ir.VectorAssign(a.ref(), a.ref()),))
+        with pytest.raises(CompilationError):
+            ir.Loop("bad", count=0, body=(loop,))
+        with pytest.raises(CompilationError):
+            ir.Loop("bad", count=3, body=())
+
+    def test_kernel_collects_arrays(self):
+        a = ir.Array("a", 8)
+        b = ir.Array("b", 8)
+        idx = ir.Array("idx", 8)
+        kernel = ir.Kernel("k")
+        kernel.add(
+            ir.VectorLoop(
+                "loop", trip=8,
+                statements=(ir.VectorAssign(a.ref(), b.gather(idx.ref()) + b.ref()),),
+            )
+        )
+        names = {array.name for array in kernel.arrays()}
+        assert names == {"a", "b", "idx"}
+
+    def test_kernel_collects_arrays_through_nesting(self):
+        a = ir.Array("a", 8)
+        inner = ir.VectorLoop("inner", trip=8,
+                              statements=(ir.VectorAssign(a.ref(), a.ref() * 2.0),))
+        routine = ir.Routine("r", (inner,))
+        kernel = ir.Kernel("k")
+        kernel.add(ir.Loop("outer", 2, (ir.CallRoutine(routine),)))
+        assert [array.name for array in kernel.arrays()] == ["a"]
+
+    def test_select_and_compare_arrays_collected(self):
+        a = ir.Array("a", 8)
+        b = ir.Array("b", 8)
+        kernel = ir.Kernel("k")
+        kernel.add(
+            ir.VectorLoop(
+                "loop", trip=8,
+                statements=(
+                    ir.VectorAssign(
+                        a.ref(),
+                        ir.where(ir.compare("lt", b.ref(), 1.0), b.ref(), 0.0),
+                    ),
+                ),
+            )
+        )
+        assert {array.name for array in kernel.arrays()} == {"a", "b"}
+
+    def test_reduce_statement(self):
+        a = ir.Array("a", 8)
+        loop = ir.VectorLoop("loop", trip=8, statements=(ir.Reduce(a.ref(), "sum"),))
+        assert isinstance(loop.statements[0], ir.Reduce)

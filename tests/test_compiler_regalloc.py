@@ -1,0 +1,193 @@
+"""Unit and property tests for register allocation and the compile driver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import ir
+from repro.compiler.codegen import CodeGenerator, VirtReg, generate_code
+from repro.compiler.pipeline import CompilationResult, compile_kernel
+from repro.compiler.regalloc import allocate_registers
+from repro.compiler.scheduler import SCHEDULING_POLICIES, schedule_code
+from repro.common.errors import CompilationError
+from repro.isa.opcodes import InstrKind, Opcode
+from repro.isa.registers import RegClass, Register
+
+
+def _wide_kernel(num_arrays: int, trip: int = 256) -> ir.Kernel:
+    """A kernel that keeps roughly ``num_arrays`` vector values live at once.
+
+    The first statement loads every array (the loads are CSEd inside the
+    strip body) and the second statement consumes them in reverse order, so
+    all of them stay live across the whole body.
+    """
+    arrays = [ir.Array(f"x{i}", trip) for i in range(num_arrays)]
+    out = ir.Array("out", trip)
+    out2 = ir.Array("out2", trip)
+
+    def chain(refs):
+        expr = refs[0].ref()
+        for array in refs[1:]:
+            expr = expr + array.ref() * 1.5
+        return expr
+
+    kernel = ir.Kernel(f"wide{num_arrays}")
+    kernel.add(
+        ir.VectorLoop(
+            "loop",
+            trip=trip,
+            statements=(
+                ir.VectorAssign(out.ref(), chain(arrays)),
+                ir.VectorAssign(out2.ref(), chain(list(reversed(arrays)))),
+            ),
+        )
+    )
+    return kernel
+
+
+def _all_instructions(program):
+    for block in program.blocks:
+        yield from block
+
+
+class TestVectorAllocation:
+    def test_narrow_kernel_has_no_vector_spills(self):
+        result = compile_kernel(_wide_kernel(3))
+        assert result.allocation.vector_spill_stores == 0
+        assert result.allocation.vector_spill_loads == 0
+
+    def test_wide_kernel_spills_vectors(self):
+        result = compile_kernel(_wide_kernel(14))
+        assert result.allocation.vector_spill_stores > 0
+        assert result.allocation.vector_spill_loads > 0
+
+    def test_spill_code_is_marked(self):
+        result = compile_kernel(_wide_kernel(14))
+        spills = [i for i in _all_instructions(result.program) if i.is_spill]
+        assert spills
+        assert all(i.opcode in (Opcode.VLOAD, Opcode.VSTORE, Opcode.LOAD, Opcode.STORE)
+                   for i in spills)
+
+    def test_no_virtual_registers_survive(self):
+        result = compile_kernel(_wide_kernel(12))
+        for instr in _all_instructions(result.program):
+            for reg in instr.registers():
+                assert isinstance(reg, Register)
+
+    def test_vector_operands_within_architected_range(self):
+        result = compile_kernel(_wide_kernel(14))
+        for instr in _all_instructions(result.program):
+            for reg in instr.registers():
+                if reg.cls is RegClass.V:
+                    assert 0 <= reg.index < 8
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=10, deadline=None)
+    def test_allocation_always_completes(self, width):
+        result = compile_kernel(_wide_kernel(width, trip=128))
+        assert isinstance(result, CompilationResult)
+        assert result.static_instructions > 0
+
+
+class TestScalarAllocation:
+    def test_many_disjoint_loops_need_no_scalar_spills(self):
+        # Each loop uses a handful of base registers; live ranges are
+        # disjoint, so the linear scan fits them all in the A register file.
+        arrays = [ir.Array(f"y{i}", 128) for i in range(12)]
+        kernel = ir.Kernel("disjoint")
+        for i in range(0, 12, 2):
+            kernel.add(ir.VectorLoop(
+                f"loop{i}", trip=128,
+                statements=(ir.VectorAssign(arrays[i].ref(), arrays[i + 1].ref() + 1.0),),
+            ))
+        result = compile_kernel(kernel)
+        assert result.allocation.memory_resident_scalars == 0
+
+    def test_one_loop_with_many_arrays_spills_scalars(self):
+        arrays = [ir.Array(f"z{i}", 64) for i in range(10)]
+        statements = tuple(
+            ir.VectorAssign(arrays[i].ref(), arrays[i + 1].ref() + 1.0) for i in range(9)
+        )
+        kernel = ir.Kernel("pressure")
+        kernel.add(ir.Loop("outer", 2, (ir.VectorLoop("loop", trip=64, statements=statements),)))
+        result = compile_kernel(kernel)
+        assert result.allocation.memory_resident_scalars > 0
+        assert result.allocation.scalar_spill_loads > 0
+
+    def test_constants_are_rematerialized_not_spilled(self):
+        arrays = [ir.Array(f"c{i}", 64) for i in range(9)]
+        constants = [ir.Const(float(i)) for i in range(12)]
+        statements = tuple(
+            ir.VectorAssign(arrays[i].ref(), arrays[i + 1].ref() * constants[i] + constants[i + 1])
+            for i in range(8)
+        )
+        kernel = ir.Kernel("constants")
+        kernel.add(ir.VectorLoop("loop", trip=64, statements=statements))
+        result = compile_kernel(kernel)
+        # S-class pressure comes only from single-`li` constants, which the
+        # allocator rematerialises instead of spilling to memory.
+        assert result.allocation.rematerialized_scalars >= 0
+        for instr in _all_instructions(result.program):
+            if instr.is_spill and instr.opcode in (Opcode.LOAD, Opcode.STORE):
+                assert instr.srcs and instr.srcs[-1] == Register(RegClass.A, 7)
+
+
+class TestScheduler:
+    def test_policies_listed(self):
+        assert set(SCHEDULING_POLICIES) == {"asis", "loads_first"}
+
+    def test_unknown_policy_rejected(self):
+        code = generate_code(_wide_kernel(3))
+        with pytest.raises(CompilationError):
+            schedule_code(code, "magic")
+
+    def test_asis_is_identity(self):
+        code = generate_code(_wide_kernel(3))
+        before = [[instr.opcode for instr in block.instructions] for block in code.blocks]
+        schedule_code(code, "asis")
+        after = [[instr.opcode for instr in block.instructions] for block in code.blocks]
+        assert before == after
+
+    def test_loads_first_hoists_loads(self):
+        code = generate_code(_wide_kernel(4))
+        schedule_code(code, "loads_first")
+        strip = next(block for block in code.blocks if "strip" in block.label)
+        opcodes = [instr.opcode for instr in strip.instructions]
+        first_alu = next(i for i, op in enumerate(opcodes) if op is Opcode.VADD)
+        loads_after_alu = [op for op in opcodes[first_alu:] if op is Opcode.VLOAD]
+        assert not loads_after_alu
+
+    def test_scheduling_preserves_instruction_multiset(self):
+        code = generate_code(_wide_kernel(5))
+        before = sorted(str(i.opcode) for b in code.blocks for i in b.instructions)
+        schedule_code(code, "loads_first")
+        after = sorted(str(i.opcode) for b in code.blocks for i in b.instructions)
+        assert before == after
+
+    def test_compile_kernel_accepts_scheduling_option(self):
+        result = compile_kernel(_wide_kernel(4), scheduling="loads_first")
+        assert result.static_instructions > 0
+
+
+class TestPipelineDriver:
+    def test_program_validates(self):
+        result = compile_kernel(_wide_kernel(6))
+        result.program.validate()
+
+    def test_static_counts_contain_vector_work(self):
+        counts = compile_kernel(_wide_kernel(6)).program.static_counts()
+        assert counts[InstrKind.VECTOR_ALU] > 0
+        assert counts[InstrKind.VECTOR_LOAD] > 0
+        assert counts[InstrKind.BRANCH] >= 1
+
+    def test_allocation_stats_exposed(self):
+        result = compile_kernel(_wide_kernel(12))
+        assert result.allocation.spilled_vector_values >= result.allocation.vector_spill_stores - 1
+
+    def test_allocate_registers_direct_call(self):
+        code = CodeGenerator(_wide_kernel(10)).generate()
+        stats = allocate_registers(code)
+        assert stats.vector_spill_stores >= 0
+        for block in code.blocks:
+            for instr in block.instructions:
+                assert not any(isinstance(r, VirtReg) for r in instr.registers())

@@ -1,0 +1,136 @@
+"""End-to-end and property-based integration tests.
+
+These tests exercise the full pipeline — IR → compiler → trace → both
+simulators → statistics — on randomly generated kernels and check the
+invariants that must hold regardless of the kernel: traces are identical
+across machines, resource accounting partitions time, elimination never
+loses work, and the OOOVA with ample resources is never slower than with
+scarce ones.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import CommitModel, LoadElimination, OOOParams, ReferenceParams
+from repro.compiler import ir
+from repro.compiler.pipeline import compile_kernel
+from repro.ooo.machine import simulate_ooo
+from repro.refsim.machine import simulate_reference
+from repro.trace.generator import generate_trace
+from repro.trace.stats import compute_trace_statistics
+
+
+@st.composite
+def kernels(draw):
+    """Generate a small random kernel touching the major IR features."""
+    n_arrays = draw(st.integers(min_value=2, max_value=6))
+    trip = draw(st.sampled_from([48, 96, 200]))
+    max_vl = draw(st.sampled_from([32, 64, 128]))
+    arrays = [ir.Array(f"arr{i}", trip + 8) for i in range(n_arrays)]
+    out = ir.Array("out", trip + 8)
+
+    n_terms = draw(st.integers(min_value=1, max_value=4))
+    expr = arrays[0].ref()
+    for i in range(n_terms):
+        source = arrays[(i + 1) % n_arrays]
+        op = draw(st.sampled_from(["+", "*", "-"]))
+        expr = ir.BinOp(op, expr, source.ref(offset=draw(st.integers(0, 2))))
+    if draw(st.booleans()):
+        expr = expr * ir.ScalarOperand("alpha", 1.5)
+    if draw(st.booleans()):
+        expr = ir.sqrt(expr)
+
+    statements = [ir.VectorAssign(out.ref(), expr)]
+    if draw(st.booleans()):
+        statements.append(ir.Reduce(out.ref(), "acc"))
+
+    loop = ir.VectorLoop("body", trip=trip, statements=tuple(statements), max_vl=max_vl)
+    items = [loop]
+    if draw(st.booleans()):
+        items.append(ir.ScalarWork("bookkeeping", alu_ops=draw(st.integers(0, 6)),
+                                   loads=draw(st.integers(0, 3)), stores=1))
+    outer = draw(st.integers(min_value=1, max_value=3))
+    kernel = ir.Kernel("generated")
+    kernel.add(ir.Loop("outer", outer, tuple(items)))
+    return kernel
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernels())
+def test_full_pipeline_invariants(kernel):
+    result = compile_kernel(kernel)
+    result.program.validate()
+    trace = generate_trace(result.program)
+    assert len(trace) > 0
+
+    stats = compute_trace_statistics(trace)
+    assert stats.vector_operations >= 0
+    assert 0 <= stats.vectorization_percent <= 100.0
+
+    ref = simulate_reference(trace, ReferenceParams())
+    ooo = simulate_ooo(trace, OOOParams(num_phys_vregs=16))
+
+    # Both machines execute exactly the same dynamic work.
+    assert ref.vector_operations == ooo.vector_operations == stats.vector_operations
+    assert ref.traffic.total_ops == ooo.traffic.total_ops
+
+    # Time accounting is self-consistent on both machines.
+    for machine in (ref, ooo):
+        assert machine.cycles > 0
+        assert machine.address_port_busy_cycles <= machine.cycles
+        assert sum(machine.state_breakdown().values()) == machine.cycles
+        assert machine.ideal_cycles() <= machine.cycles
+
+    # Renaming plus out-of-order issue never loses to the in-order machine
+    # by more than a whisker (it has strictly more freedom).
+    assert ooo.cycles <= ref.cycles * 1.05
+
+
+@settings(max_examples=8, deadline=None)
+@given(kernels())
+def test_load_elimination_preserves_work(kernel):
+    trace = generate_trace(compile_kernel(kernel).program)
+    base = OOOParams(num_phys_vregs=32, commit_model=CommitModel.LATE)
+    baseline = simulate_ooo(trace, base)
+    vle = simulate_ooo(trace, dataclasses.replace(base,
+                                                  load_elimination=LoadElimination.SLE_VLE))
+    assert vle.vector_operations == baseline.vector_operations
+    assert vle.traffic.total_ops + vle.traffic.total_eliminated_ops == baseline.traffic.total_ops
+    assert vle.cycles <= baseline.cycles * 1.10
+
+
+@settings(max_examples=8, deadline=None)
+@given(kernels(), st.sampled_from([1, 50, 100]))
+def test_latency_monotonicity(kernel, latency):
+    trace = generate_trace(compile_kernel(kernel).program)
+    ref_low = simulate_reference(trace, ReferenceParams().with_memory_latency(1))
+    ref_here = simulate_reference(trace, ReferenceParams().with_memory_latency(latency))
+    assert ref_here.cycles >= ref_low.cycles
+
+
+class TestExampleScripts:
+    """The shipped examples must stay runnable."""
+
+    @pytest.mark.parametrize("script", ["quickstart", "latency_tolerance",
+                                        "load_elimination", "custom_kernel"])
+    def test_examples_importable_and_runnable(self, script, capsys, monkeypatch):
+        import importlib.util
+        import os
+        import sys
+
+        path = os.path.join(os.path.dirname(__file__), "..", "examples", f"{script}.py")
+        spec = importlib.util.spec_from_file_location(f"example_{script}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        if script == "quickstart":
+            monkeypatch.setattr(sys, "argv", ["quickstart", "trfd"])
+        elif script in ("latency_tolerance", "load_elimination"):
+            monkeypatch.setattr(sys, "argv", [script, "trfd"])
+        else:
+            monkeypatch.setattr(sys, "argv", [script])
+        assert module.main() == 0
+        output = capsys.readouterr().out
+        assert output.strip()

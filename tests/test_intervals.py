@@ -1,0 +1,158 @@
+"""Unit and property tests for interval bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.intervals import (
+    BusyTracker,
+    Interval,
+    merge_intervals,
+    state_breakdown,
+    total_busy,
+)
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(3, 10).length == 7
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_overlap(self):
+        assert Interval(0, 10).overlaps(Interval(9, 12))
+        assert not Interval(0, 10).overlaps(Interval(10, 12))
+
+    def test_contains_is_half_open(self):
+        iv = Interval(5, 8)
+        assert iv.contains(5) and iv.contains(7)
+        assert not iv.contains(8)
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        merged = merge_intervals([Interval(0, 2), Interval(5, 7)])
+        assert merged == [Interval(0, 2), Interval(5, 7)]
+
+    def test_merge_overlapping(self):
+        merged = merge_intervals([Interval(0, 5), Interval(3, 9)])
+        assert merged == [Interval(0, 9)]
+
+    def test_merge_adjacent(self):
+        merged = merge_intervals([Interval(0, 5), Interval(5, 9)])
+        assert merged == [Interval(0, 9)]
+
+    def test_zero_length_dropped(self):
+        assert merge_intervals([Interval(4, 4)]) == []
+
+    def test_total_busy_counts_overlap_once(self):
+        assert total_busy([Interval(0, 10), Interval(5, 15)]) == 15
+
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(0, 50)), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_properties(self, raw):
+        intervals = [Interval(start, start + length) for start, length in raw]
+        merged = merge_intervals(intervals)
+        # merged intervals are sorted, disjoint and non-empty
+        for earlier, later in zip(merged, merged[1:]):
+            assert earlier.end < later.start
+        assert all(iv.length > 0 for iv in merged)
+        # coverage is preserved
+        covered = set()
+        for iv in intervals:
+            covered.update(range(iv.start, iv.end))
+        merged_covered = set()
+        for iv in merged:
+            merged_covered.update(range(iv.start, iv.end))
+        assert covered == merged_covered
+
+
+class TestBusyTracker:
+    def test_busy_cycles(self):
+        tracker = BusyTracker("fu")
+        tracker.add(0, 10)
+        tracker.add(20, 25)
+        assert tracker.busy_cycles() == 15
+
+    def test_extending_last_interval(self):
+        tracker = BusyTracker()
+        tracker.add(0, 10)
+        tracker.add(5, 15)
+        assert tracker.busy_cycles() == 15
+
+    def test_zero_length_ignored(self):
+        tracker = BusyTracker()
+        tracker.add(5, 5)
+        assert tracker.busy_cycles() == 0
+        assert len(tracker) == 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BusyTracker().add(10, 4)
+
+    def test_busy_at(self):
+        tracker = BusyTracker()
+        tracker.add(3, 6)
+        assert tracker.busy_at(3) and tracker.busy_at(5)
+        assert not tracker.busy_at(6)
+
+    def test_last_end(self):
+        tracker = BusyTracker()
+        assert tracker.last_end() == 0
+        tracker.add(2, 9)
+        assert tracker.last_end() == 9
+
+    @given(st.lists(st.tuples(st.integers(0, 300), st.integers(1, 40)), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_busy_cycles_matches_set_cover(self, raw):
+        tracker = BusyTracker()
+        covered = set()
+        for start, length in raw:
+            tracker.add(start, start + length)
+            covered.update(range(start, start + length))
+        assert tracker.busy_cycles() == len(covered)
+
+
+class TestStateBreakdown:
+    def test_two_resources(self):
+        a = BusyTracker("a")
+        b = BusyTracker("b")
+        a.add(0, 10)
+        b.add(5, 15)
+        counts = state_breakdown([a, b], 20)
+        assert counts[(True, False)] == 5    # a only: cycles 0-5
+        assert counts[(True, True)] == 5     # both: 5-10
+        assert counts[(False, True)] == 5    # b only: 10-15
+        assert counts[(False, False)] == 5   # idle: 15-20
+        assert sum(counts.values()) == 20
+
+    def test_total_always_matches_cycles(self):
+        a = BusyTracker()
+        a.add(3, 7)
+        counts = state_breakdown([a], 50)
+        assert sum(counts.values()) == 50
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            state_breakdown([BusyTracker()], -1)
+
+    @given(
+        st.lists(
+            st.lists(st.tuples(st.integers(0, 100), st.integers(1, 20)), max_size=15),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(1, 150),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_breakdown_partitions_time(self, resources, total):
+        trackers = []
+        for spec in resources:
+            tracker = BusyTracker()
+            for start, length in spec:
+                tracker.add(start, start + length)
+            trackers.append(tracker)
+        counts = state_breakdown(trackers, total)
+        assert sum(counts.values()) == total

@@ -1,0 +1,107 @@
+"""Unit tests for simulation statistics containers."""
+
+import pytest
+
+from repro.common.stats import (
+    MemoryTraffic,
+    SimStats,
+    VECTOR_UNIT_ORDER,
+    format_state,
+    speedup,
+    state_histogram_table,
+    traffic_reduction,
+)
+
+
+class TestMemoryTraffic:
+    def test_total_ops(self):
+        traffic = MemoryTraffic(vector_load_ops=100, vector_store_ops=50,
+                                scalar_load_ops=7, scalar_store_ops=3)
+        assert traffic.total_ops == 160
+
+    def test_spill_ops(self):
+        traffic = MemoryTraffic(vector_load_spill_ops=10, scalar_store_spill_ops=2)
+        assert traffic.spill_ops == 12
+
+    def test_eliminated_ops(self):
+        traffic = MemoryTraffic(eliminated_vector_load_ops=64, eliminated_scalar_load_ops=3)
+        assert traffic.total_eliminated_ops == 67
+
+
+class TestSimStats:
+    def test_unit_order_matches_paper(self):
+        assert VECTOR_UNIT_ORDER == ("FU2", "FU1", "MEM")
+
+    def test_record_and_query_unit_busy(self):
+        stats = SimStats()
+        stats.record_unit_busy("FU1", 0, 100)
+        stats.record_unit_busy("FU1", 50, 150)
+        assert stats.unit_busy_cycles("FU1") == 150
+
+    def test_memory_port_idle_fraction(self):
+        stats = SimStats(cycles=200)
+        stats.address_port_busy_cycles = 150
+        assert stats.memory_port_idle_cycles() == 50
+        assert stats.memory_port_idle_fraction() == pytest.approx(0.25)
+
+    def test_idle_fraction_zero_cycles(self):
+        assert SimStats().memory_port_idle_fraction() == 0.0
+
+    def test_state_breakdown_partitions_cycles(self):
+        stats = SimStats(cycles=100)
+        stats.record_unit_busy("FU2", 0, 30)
+        stats.record_unit_busy("MEM", 20, 80)
+        breakdown = stats.state_breakdown()
+        assert sum(breakdown.values()) == 100
+        assert breakdown[(True, False, True)] == 10
+
+    def test_ideal_cycles_is_busiest_unit(self):
+        stats = SimStats(cycles=500)
+        stats.record_unit_busy("FU1", 0, 100)
+        stats.record_unit_busy("FU2", 0, 150)
+        stats.record_unit_busy("MEM", 0, 400)
+        assert stats.ideal_cycles() == 400
+
+    def test_vectorization_percent(self):
+        stats = SimStats(scalar_instructions=50, branch_instructions=50,
+                         vector_instructions=10, vector_operations=900)
+        assert stats.vectorization_percent() == pytest.approx(90.0)
+
+    def test_average_vector_length(self):
+        stats = SimStats(vector_instructions=4, vector_operations=500)
+        assert stats.average_vector_length() == pytest.approx(125.0)
+        assert SimStats().average_vector_length() == 0.0
+
+
+class TestRatios:
+    def test_speedup(self):
+        slow = SimStats(cycles=200)
+        fast = SimStats(cycles=100)
+        assert speedup(slow, fast) == pytest.approx(2.0)
+
+    def test_speedup_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(SimStats(cycles=10), SimStats(cycles=0))
+
+    def test_traffic_reduction(self):
+        base = SimStats()
+        base.traffic.vector_load_ops = 1000
+        opt = SimStats()
+        opt.traffic.vector_load_ops = 800
+        assert traffic_reduction(base, opt) == pytest.approx(1.25)
+
+    def test_traffic_reduction_zero_rejected(self):
+        with pytest.raises(ValueError):
+            traffic_reduction(SimStats(), SimStats())
+
+
+class TestFormatting:
+    def test_format_state(self):
+        assert format_state((True, True, True)) == "<FU2,FU1,MEM>"
+        assert format_state((False, False, False)) == "<,,>"
+        assert format_state((False, True, False)) == "<,FU1,>"
+
+    def test_histogram_table(self):
+        table = state_histogram_table({(True, False, True): 12, (False, False, False): 3})
+        assert "<FU2,,MEM>" in table
+        assert "12" in table

@@ -1,0 +1,126 @@
+"""Tests for the ten synthetic benchmark re-creations."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads import (
+    WORKLOAD_CLASSES,
+    WORKLOAD_NAMES,
+    all_workloads,
+    get_workload,
+)
+from repro.workloads.base import SCALES, Workload, scaled
+
+
+class TestRegistry:
+    def test_ten_programs(self):
+        assert len(WORKLOAD_NAMES) == 10
+        assert set(WORKLOAD_NAMES) == {
+            "swm256", "hydro2d", "arc2d", "flo52", "nasa7",
+            "su2cor", "tomcatv", "bdna", "trfd", "dyfesm",
+        }
+
+    def test_get_workload(self):
+        workload = get_workload("trfd")
+        assert workload.name == "trfd"
+        assert isinstance(workload, Workload)
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("linpack")
+
+    def test_all_workloads(self):
+        assert [w.name for w in all_workloads("tiny")] == list(WORKLOAD_NAMES)
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            get_workload("trfd", scale="huge")
+
+    def test_scaled_helper(self):
+        assert scaled(100, "tiny") == 25
+        assert scaled(100, "small") == 100
+        assert scaled(1, "tiny", minimum=1) == 1
+        with pytest.raises(WorkloadError):
+            scaled(10, "bogus")
+
+    def test_scales_table(self):
+        assert set(SCALES) == {"tiny", "small", "medium"}
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestEachWorkload:
+    def test_kernel_builds_and_compiles(self, name):
+        workload = get_workload(name, "tiny")
+        result = workload.compile()
+        assert result.static_instructions > 10
+        result.program.validate()
+
+    def test_trace_is_cached(self, name):
+        workload = get_workload(name, "tiny")
+        assert workload.trace() is workload.trace()
+
+    def test_meets_paper_admission_criterion(self, name):
+        # The paper selects programs with at least 70% vectorisation.
+        stats = get_workload(name, "tiny").statistics()
+        assert stats.vectorization_percent >= 70.0
+
+    def test_vector_lengths_legal(self, name):
+        stats = get_workload(name, "tiny").statistics()
+        assert 0 < stats.average_vector_length <= 128.0
+
+    def test_characteristics_declared(self, name):
+        cls = WORKLOAD_CLASSES[name]
+        assert cls.characteristics.vectorization_percent >= 70.0
+        assert cls.suite in ("Perfect", "Specfp92")
+
+
+class TestSuiteShape:
+    """Cross-program properties that drive the paper's per-program stories."""
+
+    def test_bdna_is_the_spill_heavy_program(self):
+        fractions = {
+            name: get_workload(name, "tiny").statistics().spill_traffic_fraction
+            for name in WORKLOAD_NAMES
+        }
+        assert fractions["bdna"] == max(fractions.values())
+        assert fractions["bdna"] > 0.3
+
+    def test_trfd_and_dyfesm_have_short_vectors(self):
+        lengths = {
+            name: get_workload(name, "tiny").statistics().average_vector_length
+            for name in WORKLOAD_NAMES
+        }
+        ranked = sorted(lengths, key=lengths.get)
+        assert set(ranked[:2]) == {"trfd", "dyfesm"}
+
+    def test_swm256_has_the_longest_vectors(self):
+        lengths = {
+            name: get_workload(name, "tiny").statistics().average_vector_length
+            for name in ("swm256", "flo52", "dyfesm")
+        }
+        assert lengths["swm256"] > lengths["flo52"] > lengths["dyfesm"]
+
+    def test_tomcatv_is_the_most_scalar_program(self):
+        scalar_share = {}
+        for name in ("tomcatv", "swm256", "arc2d"):
+            stats = get_workload(name, "tiny").statistics()
+            scalar_share[name] = (stats.scalar_instructions
+                                  / max(stats.total_instructions, 1))
+        assert scalar_share["tomcatv"] == max(scalar_share.values())
+
+    def test_nasa7_exercises_calls(self):
+        from repro.isa.opcodes import Opcode
+        trace = get_workload("nasa7", "tiny").trace()
+        assert any(d.opcode is Opcode.CALL for d in trace)
+        assert any(d.opcode is Opcode.RET for d in trace)
+
+    def test_su2cor_and_bdna_exercise_gathers(self):
+        from repro.isa.opcodes import Opcode
+        for name in ("su2cor", "bdna"):
+            trace = get_workload(name, "tiny").trace()
+            assert any(d.opcode is Opcode.VGATHER for d in trace), name
+
+    def test_scale_grows_dynamic_instruction_count(self):
+        tiny = len(get_workload("hydro2d", "tiny").trace())
+        small = len(get_workload("hydro2d", "small").trace())
+        assert small > tiny
