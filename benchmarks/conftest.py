@@ -1,7 +1,16 @@
-"""Path bootstrap for the benchmark harness.
+"""Path bootstrap and engine wiring for the benchmark harness.
 
 Makes ``repro`` importable straight from a source checkout (mirrors the
 top-level conftest) and ensures the helper module ``_harness`` resolves.
+
+The benchmark modules pull all simulation results through the experiment
+engine (see ``repro.core.runner``), whose process-wide default honours two
+environment variables:
+
+* ``REPRO_CACHE_DIR`` — persistent on-disk result store shared with
+  ``python -m repro.cli run-all``; a warmed cache makes the whole benchmark
+  suite skip simulation entirely;
+* ``REPRO_JOBS``     — worker processes used for missing grid points.
 """
 
 import os
@@ -13,3 +22,12 @@ _SRC = os.path.join(os.path.dirname(_HERE), "src")
 for path in (_HERE, _SRC):
     if path not in sys.path:
         sys.path.insert(0, path)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Report how much work the experiment engine actually did (or skipped)."""
+    from repro.core.runner import get_engine
+
+    engine = get_engine()
+    if engine.simulated or engine.disk_hits or engine.memory_hits:
+        terminalreporter.write_line(engine.summary())

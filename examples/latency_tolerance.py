@@ -8,20 +8,32 @@ from cheaper, slower DRAM parts without giving up throughput.
 
 Run with::
 
-    python examples/latency_tolerance.py [program ...]
+    python examples/latency_tolerance.py [--jobs N] [--cache-dir D] [program ...]
+
+With ``--cache-dir`` the simulation results persist on disk (shared with
+``python -m repro.cli run-all``), so re-running the example is instant; with
+``--jobs`` the missing grid points are simulated across worker processes.
 """
 
-import sys
+import argparse
 
 from repro.analysis import report_latency_tolerance
 from repro.core.experiments import figure8_latency_tolerance
+from repro.core.runner import configure_engine
 
 DEFAULT_PROGRAMS = ("swm256", "flo52", "trfd")
 LATENCIES = (1, 20, 50, 100)
 
 
 def main() -> int:
-    programs = tuple(sys.argv[1:]) or DEFAULT_PROGRAMS
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("programs", nargs="*", default=list(DEFAULT_PROGRAMS))
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args()
+    engine = configure_engine(cache_dir=args.cache_dir, jobs=args.jobs)
+
+    programs = tuple(args.programs)
     results = figure8_latency_tolerance(programs=programs, latencies=LATENCIES)
     print(report_latency_tolerance(results, LATENCIES))
     print()
@@ -33,6 +45,8 @@ def main() -> int:
         print(f"{program}: going from latency {LATENCIES[0]} to {LATENCIES[-1]} slows the "
               f"reference machine by {100 * (ref_growth - 1):.0f}% "
               f"but the OOOVA by only {100 * (ooo_growth - 1):.0f}%")
+    print()
+    print(engine.summary())
     return 0
 
 

@@ -1,5 +1,6 @@
 """Post-processing and report formatting for experiment results."""
 
+from repro.analysis.exhibits import EXHIBIT_NAMES, EXHIBITS, Exhibit, get_exhibits
 from repro.analysis.report import (
     format_table,
     report_latency_tolerance,
@@ -13,6 +14,10 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "EXHIBIT_NAMES",
+    "EXHIBITS",
+    "Exhibit",
+    "get_exhibits",
     "format_table",
     "report_latency_tolerance",
     "report_port_idle",

@@ -1,0 +1,127 @@
+"""Command-line experiment driver.
+
+``python -m repro.cli run-all`` reproduces every table and figure of the
+paper's evaluation in one command, batched through the experiment engine::
+
+    python -m repro.cli run-all --scale small --jobs 4 --cache-dir .repro-cache
+
+* ``--scale``     — ``small`` (the paper-harness default) or ``full`` (the
+  largest built-in scale, aliased to the workload scale ``medium``);
+* ``--jobs``      — fan the missing simulation points of each exhibit's grid
+  out across that many worker processes;
+* ``--cache-dir`` — persistent on-disk result store: a second run of the
+  same command performs **zero** simulations and only re-renders reports;
+* ``--exhibits``  — comma-separated subset (e.g. ``figure5,figure8``);
+* ``--programs``  — comma-separated subset of the ten benchmark programs.
+
+``python -m repro.cli list`` prints the available exhibits and programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.analysis.exhibits import EXHIBIT_NAMES, get_exhibits
+from repro.core.runner import configure_engine
+from repro.workloads.registry import WORKLOAD_NAMES
+
+#: CLI scale names; ``full`` maps to the largest built-in workload scale
+SCALE_ALIASES = {"small": "small", "full": "medium"}
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Reproduce the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_all = sub.add_parser("run-all", help="produce every table and figure")
+    run_all.add_argument("--scale", choices=sorted(SCALE_ALIASES), default="small",
+                         help="experiment scale (full = largest built-in scale)")
+    run_all.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for missing simulation points")
+    run_all.add_argument("--cache-dir", default=None, metavar="D",
+                         help="persistent on-disk result store directory")
+    run_all.add_argument("--exhibits", default=None, metavar="NAMES",
+                         help="comma-separated exhibit subset (default: all)")
+    run_all.add_argument("--programs", default=None, metavar="NAMES",
+                         help="comma-separated program subset (default: all)")
+
+    sub.add_parser("list", help="list available exhibits and programs")
+    return parser.parse_args(argv)
+
+
+def _split(csv: str | None) -> tuple[str, ...] | None:
+    if csv is None:
+        return None
+    return tuple(part.strip() for part in csv.split(",") if part.strip())
+
+
+def _cmd_list() -> int:
+    print("exhibits:", ", ".join(EXHIBIT_NAMES))
+    print("programs:", ", ".join(WORKLOAD_NAMES))
+    print("scales:  ", ", ".join(sorted(SCALE_ALIASES)))
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        exhibits = get_exhibits(_split(args.exhibits))
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if not exhibits:
+        print("error: --exhibits selected nothing; available: "
+              + ", ".join(EXHIBIT_NAMES), file=sys.stderr)
+        return 2
+    programs = _split(args.programs)
+    if programs is not None:
+        if not programs:
+            print("error: --programs selected nothing; available: "
+                  + ", ".join(WORKLOAD_NAMES), file=sys.stderr)
+            return 2
+        unknown = [name for name in programs if name not in WORKLOAD_NAMES]
+        if unknown:
+            print(f"error: unknown program(s) {', '.join(unknown)}; "
+                  f"available: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+            return 2
+    scale = SCALE_ALIASES[args.scale]
+    engine = configure_engine(cache_dir=args.cache_dir, jobs=args.jobs)
+
+    started = time.perf_counter()
+    for exhibit in exhibits:
+        exhibit_started = time.perf_counter()
+        data = exhibit.run(programs, scale)
+        report = exhibit.render(data)
+        elapsed = time.perf_counter() - exhibit_started
+        print("=" * 78)
+        print(f"{exhibit.title}  [{exhibit.name}, {elapsed:.2f}s]")
+        print("=" * 78)
+        print(report)
+        print()
+    total = time.perf_counter() - started
+
+    print("-" * 78)
+    print(f"{len(exhibits)} exhibit(s) at scale '{args.scale}' in {total:.2f}s")
+    print(engine.summary())
+    if args.cache_dir:
+        print(f"cache dir: {args.cache_dir}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run_all(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ Two architectures are parameterised here:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.common.errors import ConfigurationError
 
@@ -224,3 +224,47 @@ class OOOParams:
     def with_phys_vregs(self, count: int) -> "OOOParams":
         """Return a copy with a different physical vector register count."""
         return replace(self, num_phys_vregs=count)
+
+
+# ---------------------------------------------------------------------------
+# Serialisation (used by the persistent result store in repro.core.runner)
+# ---------------------------------------------------------------------------
+
+
+def params_to_dict(params: ReferenceParams | OOOParams) -> dict:
+    """Serialise machine parameters to a JSON-compatible dictionary.
+
+    The dictionary carries a ``kind`` discriminator so the matching dataclass
+    can be rebuilt by :func:`params_from_dict`; enum members are stored by
+    value.
+    """
+    if isinstance(params, ReferenceParams):
+        kind = "reference"
+    elif isinstance(params, OOOParams):
+        kind = "ooo"
+    else:
+        raise ConfigurationError(f"cannot serialise parameters of type {type(params)!r}")
+    payload: dict = {"kind": kind}
+    for f in fields(params):
+        value = getattr(params, f.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        elif isinstance(value, (FunctionalUnitLatencies, MemoryParams)):
+            value = {sub.name: getattr(value, sub.name) for sub in fields(value)}
+        payload[f.name] = value
+    return payload
+
+
+def params_from_dict(payload: dict) -> ReferenceParams | OOOParams:
+    """Rebuild machine parameters from :func:`params_to_dict` output."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if kind not in ("reference", "ooo"):
+        raise ConfigurationError(f"unknown machine-parameter kind {kind!r}")
+    data["latencies"] = FunctionalUnitLatencies(**data["latencies"])
+    data["memory"] = MemoryParams(**data["memory"])
+    if kind == "reference":
+        return ReferenceParams(**data)
+    data["commit_model"] = CommitModel(data["commit_model"])
+    data["load_elimination"] = LoadElimination(data["load_elimination"])
+    return OOOParams(**data)

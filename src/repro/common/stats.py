@@ -7,7 +7,7 @@ consume these objects to build the paper's tables and figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Mapping
 
 from repro.common.intervals import BusyTracker, state_breakdown
@@ -141,6 +141,50 @@ class SimStats:
         if self.vector_instructions == 0:
             return 0.0
         return self.vector_operations / self.vector_instructions
+
+    def copy(self) -> "SimStats":
+        """Return an independent copy (cheaply; no ``deepcopy``).
+
+        Counters are plain values, busy trackers share their immutable
+        intervals behind fresh lists, and the traffic record is rebuilt, so
+        mutating the copy can never affect the original.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["unit_busy"] = {
+            name: tracker.copy() for name, tracker in self.unit_busy.items()
+        }
+        data["traffic"] = replace(self.traffic)
+        return SimStats(**data)
+
+    # -- serialisation (persistent result store) ----------------------------
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary.
+
+        Busy trackers are stored as merged ``[start, end]`` interval pairs,
+        which preserves every derived statistic (busy cycles, state
+        breakdowns, idle fractions).
+        """
+        payload: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "unit_busy":
+                value = {name: tracker.to_pairs() for name, tracker in value.items()}
+            elif f.name == "traffic":
+                value = {sub.name: getattr(value, sub.name) for sub in fields(value)}
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SimStats":
+        """Rebuild a :class:`SimStats` from :meth:`to_dict` output."""
+        data = dict(payload)
+        data["unit_busy"] = {
+            name: BusyTracker.from_pairs(name, pairs)
+            for name, pairs in data.get("unit_busy", {}).items()
+        }
+        data["traffic"] = MemoryTraffic(**data.get("traffic", {}))
+        return cls(**data)
 
 
 def speedup(reference: SimStats, improved: SimStats) -> float:

@@ -12,9 +12,27 @@ from repro.core.config import (
     standard_configs,
 )
 from repro.core.results import SimulationResult
+from repro.core.runner import (
+    ExperimentEngine,
+    ExperimentPoint,
+    ExperimentSpec,
+    ResultStore,
+    configure_engine,
+    get_engine,
+    run_experiment,
+    set_engine,
+)
 from repro.core.simulator import clear_simulation_cache, run, run_cached, simulate_trace
 
 __all__ = [
+    "ExperimentEngine",
+    "ExperimentPoint",
+    "ExperimentSpec",
+    "ResultStore",
+    "configure_engine",
+    "get_engine",
+    "run_experiment",
+    "set_engine",
     "DEFAULT_LATENCY",
     "LATENCY_SWEEP",
     "MachineConfig",

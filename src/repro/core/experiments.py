@@ -2,10 +2,18 @@
 
 Each function runs the simulations behind one exhibit of the paper and
 returns plain data structures (dictionaries keyed by program name).  The
-benchmark harness under ``benchmarks/`` calls these functions and prints the
-resulting tables; EXPERIMENTS.md records the measured values next to the
-paper's.  All functions accept a ``programs`` subset and a ``scale`` so the
-test suite can exercise them cheaply.
+benchmark harness under ``benchmarks/`` and the ``python -m repro.cli``
+entry point call these functions and print the resulting tables;
+EXPERIMENTS.md records the measured values next to the paper's.  All
+functions accept a ``programs`` subset and a ``scale`` so the test suite can
+exercise them cheaply.
+
+Every function declares its sweep grid as an
+:class:`~repro.core.runner.ExperimentSpec` and resolves it through the
+experiment engine in one batch: the engine simulates only the points missing
+from its result store and can fan the batch out across worker processes
+(``--jobs``), so a figure's whole grid is computed with maximum reuse and
+parallelism instead of one serial ``run_cached`` loop.
 """
 
 from __future__ import annotations
@@ -17,12 +25,14 @@ from repro.common.params import CommitModel, FunctionalUnitLatencies, LoadElimin
 from repro.core.config import (
     DEFAULT_LATENCY,
     LATENCY_SWEEP,
+    MachineConfig,
     REFERENCE_LATENCY_SWEEP,
     REGISTER_SWEEP,
     ooo_config,
     reference_config,
 )
-from repro.core.simulator import run_cached
+from repro.core.results import SimulationResult
+from repro.core.runner import ExperimentEngine, ExperimentPoint, ExperimentSpec, run_experiment
 from repro.trace.stats import TraceStatistics
 from repro.workloads.registry import WORKLOAD_NAMES, get_workload
 
@@ -35,6 +45,25 @@ LOAD_ELIMINATION_REGISTER_SWEEP = (16, 32, 64)
 
 def _programs(programs: Iterable[str] | None) -> tuple[str, ...]:
     return tuple(programs) if programs is not None else WORKLOAD_NAMES
+
+
+class _Grid:
+    """Resolved sweep grid: point lookup by (workload, config)."""
+
+    def __init__(
+        self,
+        name: str,
+        workloads: Sequence[str],
+        configs: Sequence[MachineConfig],
+        scale: str,
+        engine: ExperimentEngine | None,
+    ) -> None:
+        self.scale = scale
+        spec = ExperimentSpec.grid(name, workloads, configs, scale)
+        self._results = run_experiment(spec, engine)
+
+    def __call__(self, workload: str, config: MachineConfig) -> SimulationResult:
+        return self._results[ExperimentPoint(workload, self.scale, config)]
 
 
 # ---------------------------------------------------------------------------
@@ -81,6 +110,7 @@ def figure3_reference_state_breakdown(
     programs: Iterable[str] | None = None,
     latencies: Sequence[int] = REFERENCE_LATENCY_SWEEP,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[int, dict[tuple[bool, bool, bool], int]]]:
     """Figure 3: (FU2, FU1, MEM) state breakdown of the reference machine.
 
@@ -88,30 +118,34 @@ def figure3_reference_state_breakdown(
     default this does the same, but any subset can be requested.
     """
     selected = tuple(programs) if programs is not None else FIGURE3_PROGRAMS
-    results: dict[str, dict[int, dict[tuple[bool, bool, bool], int]]] = {}
-    for name in selected:
-        per_latency = {}
-        for latency in latencies:
-            result = run_cached(name, reference_config(latency), scale)
-            per_latency[latency] = result.stats.state_breakdown()
-        results[name] = per_latency
-    return results
+    configs = {latency: reference_config(latency) for latency in latencies}
+    grid = _Grid("figure3", selected, tuple(configs.values()), scale, engine)
+    return {
+        name: {
+            latency: grid(name, config).stats.state_breakdown()
+            for latency, config in configs.items()
+        }
+        for name in selected
+    }
 
 
 def figure4_reference_port_idle(
     programs: Iterable[str] | None = None,
     latencies: Sequence[int] = REFERENCE_LATENCY_SWEEP,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[int, float]]:
     """Figure 4: % cycles the memory port is idle on the reference machine."""
-    results: dict[str, dict[int, float]] = {}
-    for name in _programs(programs):
-        results[name] = {
-            latency: run_cached(name, reference_config(latency), scale)
-            .stats.memory_port_idle_fraction()
-            for latency in latencies
+    names = _programs(programs)
+    configs = {latency: reference_config(latency) for latency in latencies}
+    grid = _Grid("figure4", names, tuple(configs.values()), scale, engine)
+    return {
+        name: {
+            latency: grid(name, config).stats.memory_port_idle_fraction()
+            for latency, config in configs.items()
         }
-    return results
+        for name in names
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -124,21 +158,29 @@ def figure5_speedup_vs_registers(
     register_counts: Sequence[int] = REGISTER_SWEEP,
     latency: int = DEFAULT_LATENCY,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, Mapping]]:
     """Figure 5: OOOVA speedup over the reference machine vs physical registers.
 
     Returns, per program, the speedup curves of the 16-slot-queue and
     128-slot-queue machines plus the IDEAL upper bound.
     """
+    names = _programs(programs)
+    ref = reference_config(latency)
+    ooo_grid = {
+        (regs, slots): ooo_config(phys_vregs=regs, latency=latency, queue_slots=slots)
+        for regs in register_counts
+        for slots in (16, 128)
+    }
+    grid = _Grid("figure5", names, (ref, *ooo_grid.values()), scale, engine)
     results: dict[str, dict[str, Mapping]] = {}
-    for name in _programs(programs):
-        reference = run_cached(name, reference_config(latency), scale)
+    for name in names:
+        reference = grid(name, ref)
         ideal_cycles = reference.stats.ideal_cycles()
         curves: dict[str, dict[int, float]] = {"OOOVA-16": {}, "OOOVA-128": {}}
         for regs in register_counts:
             for label, slots in (("OOOVA-16", 16), ("OOOVA-128", 128)):
-                config = ooo_config(phys_vregs=regs, latency=latency, queue_slots=slots)
-                result = run_cached(name, config, scale)
+                result = grid(name, ooo_grid[(regs, slots)])
                 curves[label][regs] = result.speedup_over(reference)
         results[name] = {
             "curves": curves,
@@ -152,17 +194,20 @@ def figure6_port_idle_comparison(
     latency: int = DEFAULT_LATENCY,
     phys_vregs: int = 16,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 6: memory-port idle fraction, reference versus OOOVA."""
-    results: dict[str, dict[str, float]] = {}
-    for name in _programs(programs):
-        reference = run_cached(name, reference_config(latency), scale)
-        ooo = run_cached(name, ooo_config(phys_vregs=phys_vregs, latency=latency), scale)
-        results[name] = {
-            "REF": reference.stats.memory_port_idle_fraction(),
-            "OOOVA": ooo.stats.memory_port_idle_fraction(),
+    names = _programs(programs)
+    ref = reference_config(latency)
+    ooo = ooo_config(phys_vregs=phys_vregs, latency=latency)
+    grid = _Grid("figure6", names, (ref, ooo), scale, engine)
+    return {
+        name: {
+            "REF": grid(name, ref).stats.memory_port_idle_fraction(),
+            "OOOVA": grid(name, ooo).stats.memory_port_idle_fraction(),
         }
-    return results
+        for name in names
+    }
 
 
 def figure7_state_breakdown_comparison(
@@ -170,17 +215,20 @@ def figure7_state_breakdown_comparison(
     latency: int = DEFAULT_LATENCY,
     phys_vregs: int = 16,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, dict[tuple[bool, bool, bool], int]]]:
     """Figure 7: execution-state breakdown, reference versus OOOVA."""
-    results: dict[str, dict[str, dict[tuple[bool, bool, bool], int]]] = {}
-    for name in _programs(programs):
-        reference = run_cached(name, reference_config(latency), scale)
-        ooo = run_cached(name, ooo_config(phys_vregs=phys_vregs, latency=latency), scale)
-        results[name] = {
-            "REF": reference.stats.state_breakdown(),
-            "OOOVA": ooo.stats.state_breakdown(),
+    names = _programs(programs)
+    ref = reference_config(latency)
+    ooo = ooo_config(phys_vregs=phys_vregs, latency=latency)
+    grid = _Grid("figure7", names, (ref, ooo), scale, engine)
+    return {
+        name: {
+            "REF": grid(name, ref).stats.state_breakdown(),
+            "OOOVA": grid(name, ooo).stats.state_breakdown(),
         }
-    return results
+        for name in names
+    }
 
 
 def figure8_latency_tolerance(
@@ -188,18 +236,26 @@ def figure8_latency_tolerance(
     latencies: Sequence[int] = LATENCY_SWEEP,
     phys_vregs: int = 16,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, dict[int, int]]]:
     """Figure 8: execution time versus main-memory latency (REF, OOOVA, IDEAL)."""
+    names = _programs(programs)
+    ref_configs = {latency: reference_config(latency) for latency in latencies}
+    ooo_configs = {
+        latency: ooo_config(phys_vregs=phys_vregs, latency=latency) for latency in latencies
+    }
+    grid = _Grid(
+        "figure8", names, (*ref_configs.values(), *ooo_configs.values()), scale, engine
+    )
     results: dict[str, dict[str, dict[int, int]]] = {}
-    for name in _programs(programs):
+    for name in names:
         ref_curve: dict[int, int] = {}
         ooo_curve: dict[int, int] = {}
         ideal_curve: dict[int, int] = {}
         for latency in latencies:
-            reference = run_cached(name, reference_config(latency), scale)
-            ooo = run_cached(name, ooo_config(phys_vregs=phys_vregs, latency=latency), scale)
+            reference = grid(name, ref_configs[latency])
             ref_curve[latency] = reference.cycles
-            ooo_curve[latency] = ooo.cycles
+            ooo_curve[latency] = grid(name, ooo_configs[latency]).cycles
             ideal_curve[latency] = reference.stats.ideal_cycles()
         results[name] = {"REF": ref_curve, "OOOVA": ooo_curve, "IDEAL": ideal_curve}
     return results
@@ -215,23 +271,34 @@ def figure9_commit_models(
     register_counts: Sequence[int] = REGISTER_SWEEP,
     latency: int = DEFAULT_LATENCY,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Figure 9: speedup over the reference machine, early versus late commit."""
+    names = _programs(programs)
+    ref = reference_config(latency)
+    early_configs = {
+        regs: ooo_config(phys_vregs=regs, latency=latency) for regs in register_counts
+    }
+    late_configs = {
+        regs: ooo_config(phys_vregs=regs, latency=latency, commit_model=CommitModel.LATE)
+        for regs in register_counts
+    }
+    grid = _Grid(
+        "figure9", names, (ref, *early_configs.values(), *late_configs.values()), scale, engine
+    )
     results: dict[str, dict[str, dict[int, float]]] = {}
-    for name in _programs(programs):
-        reference = run_cached(name, reference_config(latency), scale)
-        early: dict[int, float] = {}
-        late: dict[int, float] = {}
-        for regs in register_counts:
-            early_run = run_cached(name, ooo_config(phys_vregs=regs, latency=latency), scale)
-            late_run = run_cached(
-                name,
-                ooo_config(phys_vregs=regs, latency=latency, commit_model=CommitModel.LATE),
-                scale,
-            )
-            early[regs] = early_run.speedup_over(reference)
-            late[regs] = late_run.speedup_over(reference)
-        results[name] = {"early": early, "late": late}
+    for name in names:
+        reference = grid(name, ref)
+        results[name] = {
+            "early": {
+                regs: grid(name, config).speedup_over(reference)
+                for regs, config in early_configs.items()
+            },
+            "late": {
+                regs: grid(name, config).speedup_over(reference)
+                for regs, config in late_configs.items()
+            },
+        }
     return results
 
 
@@ -241,34 +308,36 @@ def figure9_commit_models(
 
 
 def _load_elimination_speedups(
+    grid_name: str,
     elimination: LoadElimination,
     programs: Iterable[str] | None,
     register_counts: Sequence[int],
     latency: int,
     scale: str,
+    engine: ExperimentEngine | None,
 ) -> dict[str, dict[int, float]]:
-    results: dict[str, dict[int, float]] = {}
-    for name in _programs(programs):
-        per_regs: dict[int, float] = {}
-        for regs in register_counts:
-            baseline = run_cached(
-                name,
-                ooo_config(phys_vregs=regs, latency=latency, commit_model=CommitModel.LATE),
-                scale,
-            )
-            improved = run_cached(
-                name,
-                ooo_config(
-                    phys_vregs=regs,
-                    latency=latency,
-                    commit_model=CommitModel.LATE,
-                    load_elimination=elimination,
-                ),
-                scale,
-            )
-            per_regs[regs] = improved.speedup_over(baseline)
-        results[name] = per_regs
-    return results
+    names = _programs(programs)
+    baselines = {
+        regs: ooo_config(phys_vregs=regs, latency=latency, commit_model=CommitModel.LATE)
+        for regs in register_counts
+    }
+    improved = {
+        regs: ooo_config(
+            phys_vregs=regs,
+            latency=latency,
+            commit_model=CommitModel.LATE,
+            load_elimination=elimination,
+        )
+        for regs in register_counts
+    }
+    grid = _Grid(grid_name, names, (*baselines.values(), *improved.values()), scale, engine)
+    return {
+        name: {
+            regs: grid(name, improved[regs]).speedup_over(grid(name, baselines[regs]))
+            for regs in register_counts
+        }
+        for name in names
+    }
 
 
 def figure11_sle_speedup(
@@ -276,10 +345,11 @@ def figure11_sle_speedup(
     register_counts: Sequence[int] = LOAD_ELIMINATION_REGISTER_SWEEP,
     latency: int = DEFAULT_LATENCY,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[int, float]]:
     """Figure 11: speedup of scalar load elimination over the late-commit OOOVA."""
     return _load_elimination_speedups(
-        LoadElimination.SLE, programs, register_counts, latency, scale
+        "figure11", LoadElimination.SLE, programs, register_counts, latency, scale, engine
     )
 
 
@@ -288,10 +358,11 @@ def figure12_sle_vle_speedup(
     register_counts: Sequence[int] = LOAD_ELIMINATION_REGISTER_SWEEP,
     latency: int = DEFAULT_LATENCY,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[int, float]]:
     """Figure 12: speedup of scalar+vector load elimination over the baseline."""
     return _load_elimination_speedups(
-        LoadElimination.SLE_VLE, programs, register_counts, latency, scale
+        "figure12", LoadElimination.SLE_VLE, programs, register_counts, latency, scale, engine
     )
 
 
@@ -300,32 +371,30 @@ def figure13_traffic_reduction(
     phys_vregs: int = 32,
     latency: int = DEFAULT_LATENCY,
     scale: str = "small",
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 13: memory-traffic reduction of SLE and SLE+VLE at 32 registers.
 
     The ratio follows Section 6.4: requests issued by the baseline OOOVA
     divided by requests issued by the load-eliminating configuration.
     """
-    results: dict[str, dict[str, float]] = {}
-    for name in _programs(programs):
-        baseline = run_cached(
-            name,
-            ooo_config(phys_vregs=phys_vregs, latency=latency, commit_model=CommitModel.LATE),
-            scale,
+    names = _programs(programs)
+    baseline = ooo_config(phys_vregs=phys_vregs, latency=latency, commit_model=CommitModel.LATE)
+    eliminating = {
+        label: ooo_config(
+            phys_vregs=phys_vregs,
+            latency=latency,
+            commit_model=CommitModel.LATE,
+            load_elimination=elimination,
         )
-        row: dict[str, float] = {}
         for label, elimination in (("SLE", LoadElimination.SLE),
-                                   ("SLE+VLE", LoadElimination.SLE_VLE)):
-            improved = run_cached(
-                name,
-                ooo_config(
-                    phys_vregs=phys_vregs,
-                    latency=latency,
-                    commit_model=CommitModel.LATE,
-                    load_elimination=elimination,
-                ),
-                scale,
-            )
-            row[label] = improved.traffic_reduction_over(baseline)
-        results[name] = row
-    return results
+                                   ("SLE+VLE", LoadElimination.SLE_VLE))
+    }
+    grid = _Grid("figure13", names, (baseline, *eliminating.values()), scale, engine)
+    return {
+        name: {
+            label: grid(name, config).traffic_reduction_over(grid(name, baseline))
+            for label, config in eliminating.items()
+        }
+        for name in names
+    }

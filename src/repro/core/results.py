@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.params import OOOParams, ReferenceParams
+from repro.common.params import OOOParams, ReferenceParams, params_from_dict, params_to_dict
 from repro.common.stats import SimStats
 
 
@@ -37,6 +37,39 @@ class SimulationResult:
         if own == 0:
             raise ValueError("run performed no memory operations")
         return baseline.stats.traffic.total_ops / own
+
+    def copy(self) -> "SimulationResult":
+        """Return an independent deep copy of this result.
+
+        The result store hands every caller a copy so that mutating a
+        returned :class:`SimStats` (or its busy trackers) can never corrupt
+        the cached canonical instance.
+        """
+        return SimulationResult(
+            workload=self.workload,
+            config_name=self.config_name,
+            params=self.params,  # frozen, safe to share
+            stats=self.stats.copy(),
+        )
+
+    def to_dict(self) -> dict:
+        """Serialise to a JSON-compatible dictionary (persistent store)."""
+        return {
+            "workload": self.workload,
+            "config_name": self.config_name,
+            "params": params_to_dict(self.params),
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            workload=payload["workload"],
+            config_name=payload["config_name"],
+            params=params_from_dict(payload["params"]),
+            stats=SimStats.from_dict(payload["stats"]),
+        )
 
     def __str__(self) -> str:
         return (

@@ -1,0 +1,335 @@
+"""Experiment engine: sweep grids, batched parallel execution, result store.
+
+The paper's evaluation is a large grid of (workload, scale, machine
+configuration) simulation points — Figures 5, 8, 9 and 11-13 alone revisit
+hundreds of them.  This module turns that grid into a first-class object:
+
+* :class:`ExperimentPoint` — one picklable simulation point;
+* :class:`ExperimentSpec` — a named collection of points (the grid behind
+  one table or figure);
+* :class:`ResultStore` — a two-level result cache: an in-memory map plus an
+  optional persistent on-disk JSON store keyed by a configuration
+  fingerprint, so repeated benchmark/test/CLI runs skip simulation entirely;
+* :class:`ExperimentEngine` — executes the missing points of a spec, batched
+  across a :class:`concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``
+  (workers rebuild the simulators from the picklable points and ship results
+  back as JSON-compatible dictionaries).
+
+Every ``table*``/``figure*`` function in :mod:`repro.core.experiments`
+declares its grid and pulls results through the process-wide default engine
+(:func:`get_engine`), as does :func:`repro.core.simulator.run_cached`.  The
+``python -m repro.cli run-all`` entry point configures the default engine
+from the command line.
+
+The store only ever hands out *copies* of cached results: callers are free
+to mutate what they receive without corrupting later experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.common.errors import ReproError
+from repro.common.params import params_to_dict
+from repro.core.config import MachineConfig
+from repro.core.results import SimulationResult
+
+#: environment knobs picked up by the default engine (see :func:`get_engine`)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+JOBS_ENV = "REPRO_JOBS"
+
+#: on-disk store format version; bump when the result payload shape changes
+STORE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One simulation point of a sweep grid.
+
+    Points are frozen, hashable and picklable: the parallel executor sends
+    them to worker processes, which rebuild the workload trace and the
+    simulator from scratch.
+    """
+
+    workload: str
+    scale: str
+    config: MachineConfig
+
+    def fingerprint(self) -> str:
+        """Stable hex digest identifying this point's full configuration."""
+        payload = {
+            "workload": self.workload,
+            "scale": self.scale,
+            "config_name": self.config.name,
+            "params": params_to_dict(self.config.params),
+            "version": STORE_VERSION,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def __str__(self) -> str:
+        return f"{self.workload}/{self.scale}/{self.config.name}"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named sweep grid: the set of points behind one table or figure."""
+
+    name: str
+    points: tuple[ExperimentPoint, ...]
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        workloads: Iterable[str],
+        configs: Iterable[MachineConfig],
+        scale: str = "small",
+    ) -> "ExperimentSpec":
+        """Build the full cross product of ``workloads`` × ``configs``."""
+        configs = tuple(configs)
+        points = tuple(
+            ExperimentPoint(workload, scale, config)
+            for workload in workloads
+            for config in configs
+        )
+        return cls(name=name, points=points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def _simulate_point(point: ExperimentPoint) -> dict:
+    """Execute one point and return the serialised result.
+
+    Top-level function so :class:`ProcessPoolExecutor` can pickle it; the
+    imports are deferred to avoid a circular import with
+    :mod:`repro.core.simulator` (which routes ``run_cached`` through this
+    module's default engine).
+    """
+    from repro.core.simulator import simulate_trace
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(point.workload, point.scale)
+    result = simulate_trace(workload.trace(), point.config)
+    return result.to_dict()
+
+
+class ResultStore:
+    """Two-level simulation-result cache: in-memory dict plus on-disk JSON.
+
+    Entries are keyed by :meth:`ExperimentPoint.fingerprint`.  With a
+    ``cache_dir`` every stored result is also written to
+    ``<cache_dir>/<workload>-<scale>-<config_name>-<fingerprint[:16]>.json``
+    and picked up again by later processes; without one the store is purely
+    in-memory (the behaviour of the old ``lru_cache``, minus the aliasing).
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: dict[str, SimulationResult] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, point: ExperimentPoint) -> SimulationResult | None:
+        """Return a defensive copy of the cached result, or ``None``."""
+        key = point.fingerprint()
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.memory_hits += 1
+            return cached.copy()
+        if self.cache_dir is not None:
+            path = self._path(point, key)
+            if path.is_file():
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                    result = SimulationResult.from_dict(payload["result"])
+                except (ValueError, KeyError, TypeError, ReproError):
+                    # Unreadable/stale entry (bad JSON, missing fields, or
+                    # params that no longer validate): drop and re-simulate.
+                    path.unlink(missing_ok=True)
+                    return None
+                self._memory[key] = result
+                self.disk_hits += 1
+                return result.copy()
+        return None
+
+    def contains(self, point: ExperimentPoint) -> bool:
+        key = point.fingerprint()
+        if key in self._memory:
+            return True
+        return self.cache_dir is not None and self._path(point, key).is_file()
+
+    # -- insertion ----------------------------------------------------------
+
+    def put(self, point: ExperimentPoint, result: SimulationResult) -> None:
+        """Store ``result`` for ``point`` (memory, and disk when configured)."""
+        key = point.fingerprint()
+        self._memory[key] = result
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "version": STORE_VERSION,
+                "key": {
+                    "workload": point.workload,
+                    "scale": point.scale,
+                    "config_name": point.config.name,
+                    "fingerprint": key,
+                    "params": params_to_dict(point.config.params),
+                },
+                "result": result.to_dict(),
+            }
+            path = self._path(point, key)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(path)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()
+
+    def _path(self, point: ExperimentPoint, key: str) -> Path:
+        name = f"{point.workload}-{point.scale}-{point.config.name}-{key[:16]}.json"
+        return self.cache_dir / name
+
+
+class ExperimentEngine:
+    """Executes sweep grids against a result store, optionally in parallel."""
+
+    def __init__(self, store: ResultStore | None = None, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.store = store if store is not None else ResultStore()
+        self.jobs = jobs
+        #: points actually simulated (cache misses) over this engine's life
+        self.simulated = 0
+
+    # -- execution ----------------------------------------------------------
+
+    def run_spec(self, spec: ExperimentSpec) -> dict[ExperimentPoint, SimulationResult]:
+        """Resolve every point of ``spec``, simulating only the missing ones.
+
+        Missing points are executed in one batch — across a process pool
+        when the engine was configured with ``jobs > 1`` — and the full
+        mapping of point to (defensively copied) result is returned.
+        """
+        results: dict[ExperimentPoint, SimulationResult] = {}
+        missing: list[ExperimentPoint] = []
+        seen: set[ExperimentPoint] = set()
+        for point in spec.points:
+            if point in seen:
+                continue
+            seen.add(point)
+            cached = self.store.get(point)
+            if cached is None:
+                missing.append(point)
+            else:
+                results[point] = cached
+        for point, result in zip(missing, self._execute(missing)):
+            self.store.put(point, result)
+            results[point] = result.copy()
+        self.simulated += len(missing)
+        return results
+
+    def run_point(self, point: ExperimentPoint) -> SimulationResult:
+        """Resolve a single point through the store."""
+        return self.run_spec(ExperimentSpec(name="adhoc", points=(point,)))[point]
+
+    def result(self, workload: str, config: MachineConfig, scale: str = "small") -> SimulationResult:
+        """Convenience lookup by (workload name, configuration, scale)."""
+        return self.run_point(ExperimentPoint(workload, scale, config))
+
+    # -- internals ----------------------------------------------------------
+
+    def _execute(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
+        if not points:
+            return []
+        if self.jobs > 1 and len(points) > 1:
+            try:
+                return self._execute_parallel(points)
+            except (OSError, BrokenProcessPool):
+                # Process pools can be unavailable (restricted sandboxes) or
+                # lose their workers mid-run; fall back to in-process
+                # execution rather than failing the whole sweep.
+                pass
+        return [SimulationResult.from_dict(_simulate_point(p)) for p in points]
+
+    def _execute_parallel(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
+        workers = min(self.jobs, len(points))
+        chunksize = max(1, len(points) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = list(pool.map(_simulate_point, points, chunksize=chunksize))
+        return [SimulationResult.from_dict(payload) for payload in payloads]
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def memory_hits(self) -> int:
+        return self.store.memory_hits
+
+    @property
+    def disk_hits(self) -> int:
+        return self.store.disk_hits
+
+    def summary(self) -> str:
+        """One-line cache/execution summary (printed by the CLI)."""
+        return (
+            f"engine: {self.simulated} simulated, {self.disk_hits} disk hits, "
+            f"{self.memory_hits} memory hits, jobs={self.jobs}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default engine
+# ---------------------------------------------------------------------------
+
+_default_engine: ExperimentEngine | None = None
+
+
+def get_engine() -> ExperimentEngine:
+    """Return the process-wide default engine, creating it on first use.
+
+    The initial engine honours the ``REPRO_CACHE_DIR`` and ``REPRO_JOBS``
+    environment variables, so test and benchmark runs can share a persistent
+    cache without any code changes.
+    """
+    global _default_engine
+    if _default_engine is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+        try:
+            jobs = max(1, int(os.environ.get(JOBS_ENV, "1")))
+        except ValueError:
+            jobs = 1
+        _default_engine = ExperimentEngine(ResultStore(cache_dir), jobs=jobs)
+    return _default_engine
+
+
+def configure_engine(
+    cache_dir: str | os.PathLike | None = None, jobs: int = 1
+) -> ExperimentEngine:
+    """Replace the default engine (used by the CLI and by tests)."""
+    global _default_engine
+    _default_engine = ExperimentEngine(ResultStore(cache_dir), jobs=jobs)
+    return _default_engine
+
+
+def set_engine(engine: ExperimentEngine | None) -> None:
+    """Install ``engine`` as the default (``None`` resets to lazy creation)."""
+    global _default_engine
+    _default_engine = engine
+
+
+def run_experiment(
+    spec: ExperimentSpec, engine: ExperimentEngine | None = None
+) -> dict[ExperimentPoint, SimulationResult]:
+    """Resolve ``spec`` through ``engine`` (default: the process-wide one)."""
+    return (engine or get_engine()).run_spec(spec)

@@ -5,15 +5,21 @@ benchmark harness use: it produces (and caches) the workload's trace, picks
 the right simulator for the configuration, and returns a
 :class:`~repro.core.results.SimulationResult` that bundles the configuration,
 the workload identity and the collected statistics.
+
+``run_cached`` routes through the experiment engine's result store (see
+:mod:`repro.core.runner`), so results are shared with the ``table*`` /
+``figure*`` experiment functions and — when a cache directory is configured
+— persist across processes.  Cached results are returned as defensive
+copies: mutating one can never corrupt later experiments.
 """
 
 from __future__ import annotations
 
-import functools
-
+from repro.common.errors import SimulationError
 from repro.common.params import OOOParams, ReferenceParams
 from repro.core.config import MachineConfig
 from repro.core.results import SimulationResult
+from repro.core.runner import get_engine
 from repro.ooo.machine import OOOVectorSimulator
 from repro.refsim.machine import ReferenceSimulator
 from repro.trace.records import Trace
@@ -22,7 +28,14 @@ from repro.workloads.registry import get_workload
 
 
 def simulate_trace(trace: Trace, config: MachineConfig) -> SimulationResult:
-    """Run an existing trace through the machine described by ``config``."""
+    """Run an existing trace through the machine described by ``config``.
+
+    Empty traces are rejected here — once, for every simulator path — so
+    that no caller can obtain a ``cycles == 0`` result that later explodes
+    in speedup ratios.
+    """
+    if len(trace) == 0:
+        raise SimulationError("cannot simulate an empty trace")
     if isinstance(config.params, ReferenceParams):
         stats = ReferenceSimulator(config.params).run(trace)
     elif isinstance(config.params, OOOParams):
@@ -44,22 +57,21 @@ def run(workload: Workload | str, config: MachineConfig, scale: str = "small") -
     return simulate_trace(workload.trace(), config)
 
 
-@functools.lru_cache(maxsize=4096)
-def _cached_run(workload_name: str, scale: str, config_key: tuple) -> SimulationResult:
-    config = MachineConfig(config_key[0], config_key[1])
-    workload = get_workload(workload_name, scale)
-    return simulate_trace(workload.trace(), config)
-
-
 def run_cached(workload_name: str, config: MachineConfig, scale: str = "small") -> SimulationResult:
     """Like :func:`run`, but memoised on (workload, scale, configuration).
 
-    The experiment harness re-uses many (workload, configuration) pairs across
-    different tables and figures; caching keeps the full suite fast.
+    The experiment harness re-uses many (workload, configuration) pairs
+    across different tables and figures; the engine's result store keeps the
+    full suite fast and, with a cache directory configured, persists results
+    on disk.  Every call returns an independent copy of the stored result.
     """
-    return _cached_run(workload_name, scale, (config.name, config.params))
+    return get_engine().result(workload_name, config, scale)
 
 
 def clear_simulation_cache() -> None:
-    """Drop memoised simulation results (mainly for tests)."""
-    _cached_run.cache_clear()
+    """Drop memoised simulation results (mainly for tests).
+
+    Only the in-memory layer of the default engine's store is cleared;
+    on-disk cache entries survive.
+    """
+    get_engine().store.clear_memory()

@@ -154,9 +154,9 @@ class _OOORun:
         self.stats.address_port_busy_cycles = self.memory.busy_cycles
         self.stats.unit_busy["FU1"] = self.fu1.tracker
         self.stats.unit_busy["FU2"] = self.fu2.tracker
-        self.stats.rename_stall_cycles = self.rename.total_allocation_stalls
-        self.stats.rob_stall_cycles = self.rob.allocation_stalls
-        self.stats.queue_stall_cycles = self.queues.total_full_stalls
+        self.stats.rename_stall_cycles = self.rename.total_allocation_stall_cycles
+        self.stats.rob_stall_cycles = self.rob.allocation_stall_cycles
+        self.stats.queue_stall_cycles = self.queues.total_full_stall_cycles
         if self.loadelim is not None:
             self.stats.loads_eliminated = self.loadelim.vector_loads_eliminated
             self.stats.scalar_loads_eliminated = self.loadelim.scalar_loads_eliminated

@@ -65,16 +65,28 @@ class IssueQueue:
         #: departure (issue) times of the instructions currently in the queue
         self._departures: list[int] = []
         self.admissions = 0
+        #: number of admissions that found the queue full (stall events)
         self.full_stalls = 0
+        #: total cycles admissions spent waiting on a full queue
+        self.full_stall_cycles = 0
 
     def admit(self, earliest: int) -> int:
-        """Admit an instruction at or after ``earliest``; stalls while full."""
+        """Admit an instruction at or after ``earliest``; stalls while full.
+
+        Stall time is charged in cycles actually waited
+        (``blocked_until - granted``), matching the ``queue_stall_cycles``
+        statistic, with the event count kept separately.
+        """
         granted = earliest
+        stalled = False
         while len(self._departures) >= self.slots:
             next_departure = heappop(self._departures)
             if next_departure > granted:
-                self.full_stalls += 1
+                stalled = True
+                self.full_stall_cycles += next_departure - granted
                 granted = next_departure
+        if stalled:
+            self.full_stalls += 1
         self.admissions += 1
         return granted
 
@@ -99,3 +111,7 @@ class QueueSet:
     @property
     def total_full_stalls(self) -> int:
         return sum(queue.full_stalls for queue in self.queues.values())
+
+    @property
+    def total_full_stall_cycles(self) -> int:
+        return sum(queue.full_stall_cycles for queue in self.queues.values())

@@ -60,7 +60,10 @@ class RegisterFileRenamer:
         self.mapping: dict[int, PhysReg] = {}
         #: physical id -> cycle at which it becomes allocatable
         self.free: dict[int, int] = {reg.ident: 0 for reg in self.registers}
+        #: number of renames that had to wait for a free register (events)
         self.allocation_stalls = 0
+        #: total cycles renames spent waiting on an empty free list
+        self.allocation_stall_cycles = 0
 
     # -- sources ------------------------------------------------------------
 
@@ -103,7 +106,10 @@ class RegisterFileRenamer:
         ident = min(self.free, key=lambda i: self.free[i])
         available_at = self.free[ident]
         if available_at > earliest:
+            # Charge the cycles actually spent waiting for the register,
+            # not one unit per stall event (the stats report stall cycles).
             self.allocation_stalls += 1
+            self.allocation_stall_cycles += available_at - earliest
         del self.free[ident]
         phys = self.registers[ident]
         self.mapping[register.index] = phys
@@ -180,3 +186,7 @@ class RenameUnit:
     @property
     def total_allocation_stalls(self) -> int:
         return sum(f.allocation_stalls for f in self.files.values())
+
+    @property
+    def total_allocation_stall_cycles(self) -> int:
+        return sum(f.allocation_stall_cycles for f in self.files.values())

@@ -37,17 +37,29 @@ class ReorderBuffer:
         #: commit times of the most recent ``commit_width`` commits
         self._recent_commits: deque[int] = deque(maxlen=commit_width)
         self.last_commit = 0
+        #: number of allocations that found the buffer full (stall events)
         self.allocation_stalls = 0
+        #: total cycles allocations spent waiting on a full buffer
+        self.allocation_stall_cycles = 0
         self.committed = 0
 
     def allocate(self, earliest: int) -> int:
-        """Allocate an entry at or after ``earliest``; stalls while full."""
+        """Allocate an entry at or after ``earliest``; stalls while full.
+
+        A stall is charged for the cycles the allocation actually waited
+        (``blocked_until - granted``), not one unit per stall event — the
+        statistics report these counters as stall *cycles*.
+        """
         granted = earliest
+        stalled = False
         while len(self._occupancy) >= self.entries:
             oldest_commit = heappop(self._occupancy)
             if oldest_commit > granted:
-                self.allocation_stalls += 1
+                stalled = True
+                self.allocation_stall_cycles += oldest_commit - granted
                 granted = oldest_commit
+        if stalled:
+            self.allocation_stalls += 1
         return granted
 
     def commit(self, ready_to_commit: int) -> int:

@@ -13,8 +13,9 @@ from repro.analysis import (
     report_table3,
     report_traffic_reduction,
 )
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.params import CommitModel, LoadElimination, OOOParams, ReferenceParams
+from repro.trace.records import Trace
 from repro.core import (
     MachineConfig,
     get_config,
@@ -97,10 +98,34 @@ class TestRunAPI:
         wrapped = run(workload, reference_config())
         assert direct.cycles == wrapped.cycles
 
-    def test_run_cached_returns_same_result(self):
+    def test_empty_trace_rejected_on_both_simulator_paths(self):
+        # Every path used to disagree here: simulate_ooo raised while the
+        # reference path returned cycles=0 and later exploded in speedup().
+        # The validation now lives in simulate_trace, once for both machines.
+        for config in (reference_config(), ooo_config()):
+            with pytest.raises(SimulationError):
+                simulate_trace(Trace("empty"), config)
+
+    def test_run_cached_returns_equal_but_independent_results(self):
         first = run_cached("trfd", ooo_config(), scale="tiny")
         second = run_cached("trfd", ooo_config(), scale="tiny")
-        assert first is second
+        # Same simulation outcome, but never the same mutable object: the
+        # store hands out defensive copies so callers cannot corrupt it.
+        assert first is not second
+        assert first.cycles == second.cycles
+        assert first.stats.to_dict() == second.stats.to_dict()
+
+    def test_run_cached_is_immune_to_caller_mutation(self):
+        first = run_cached("trfd", ooo_config(), scale="tiny")
+        pristine_cycles = first.cycles
+        pristine_busy = first.stats.unit_busy["FU1"].busy_cycles()
+        first.stats.cycles = 1
+        first.stats.unit_busy["FU1"].add(0, 10_000_000)
+        first.stats.traffic.vector_load_ops = -5
+        refetched = run_cached("trfd", ooo_config(), scale="tiny")
+        assert refetched.cycles == pristine_cycles
+        assert refetched.stats.unit_busy["FU1"].busy_cycles() == pristine_busy
+        assert refetched.stats.traffic.vector_load_ops >= 0
 
     def test_result_helpers(self):
         workload = get_workload("trfd", "tiny")

@@ -43,6 +43,8 @@ class TestRenamer:
         second = renamer.rename_destination(vreg(1), earliest=0)
         assert second.available_at == 500
         assert renamer.allocation_stalls == 1
+        # The stall is charged in cycles actually waited, not per event.
+        assert renamer.allocation_stall_cycles == 500
 
     def test_release_ignores_still_mapped_registers(self):
         renamer = RegisterFileRenamer(RegClass.V, 16)
@@ -92,6 +94,8 @@ class TestReorderBuffer:
         granted = rob.allocate(0)
         assert granted >= 100
         assert rob.allocation_stalls >= 1
+        # Cycles waited: the entry was requested at 0 and granted at 100.
+        assert rob.allocation_stall_cycles == granted - 0
 
     def test_invalid_sizes(self):
         with pytest.raises(Exception):
@@ -108,6 +112,8 @@ class TestQueues:
         # Third admission must wait for the earliest departure.
         assert queue.admit(0) == 50
         assert queue.full_stalls == 1
+        # Cycles waited: requested at 0, granted at the departure time 50.
+        assert queue.full_stall_cycles == 50
 
     def test_routing(self):
         vload = DynInstr(seq=0, opcode=Opcode.VLOAD, pc=0, dest=vreg(0), srcs=(areg(0),))

@@ -62,6 +62,52 @@ class TestGapResource:
             assert e1 <= s2
         assert res.busy_cycles() == sum(e - s for s, e in granted)
 
+    # -- adversarial gap-filling invariants --------------------------------
+    # GapResource underpins every machine-timing model (functional units and
+    # the memory address bus); these randomized sequences pin the internal
+    # invariants the simulators silently rely on.
+
+    @given(st.lists(st.tuples(st.integers(0, 300), st.integers(0, 25)),
+                    min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_internal_intervals_stay_sorted_and_disjoint(self, requests):
+        res = GapResource()
+        for earliest, duration in requests:
+            res.reserve(earliest, duration)
+            starts, ends = res._starts, res._ends
+            assert len(starts) == len(ends)
+            for s, e in zip(starts, ends):
+                assert s < e  # merging never leaves empty intervals behind
+            for (s1, e1), (s2, e2) in zip(zip(starts, ends),
+                                          zip(starts[1:], ends[1:])):
+                # strictly separated: adjacent intervals must have merged
+                assert e1 < s2
+
+    @given(st.lists(st.tuples(st.integers(0, 300), st.integers(1, 25)),
+                    min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_next_free_agrees_with_reserve(self, requests):
+        res = GapResource()
+        for earliest, duration in requests:
+            predicted = res.next_free(earliest, duration)
+            start = res.reserve(earliest, duration)
+            assert start == predicted
+            assert start >= earliest
+
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 20)),
+                    min_size=2, max_size=60),
+           st.integers(0, 400), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_probe_never_lands_on_busy_cycles(self, requests, probe_earliest,
+                                              probe_duration):
+        res = GapResource()
+        for earliest, duration in requests:
+            res.reserve(earliest, duration)
+        probe = res.next_free(probe_earliest, probe_duration)
+        assert probe >= probe_earliest
+        busy = {c for s, e in zip(res._starts, res._ends) for c in range(s, e)}
+        assert not busy.intersection(range(probe, probe + probe_duration))
+
 
 class TestPipelinedResource:
     def test_one_per_cycle(self):
