@@ -4,13 +4,16 @@ Makes ``repro`` importable straight from a source checkout (mirrors the
 top-level conftest) and ensures the helper module ``_harness`` resolves.
 
 The benchmark modules pull all simulation results through the experiment
-engine (see ``repro.core.runner``), whose process-wide default honours two
-environment variables:
+engine (see ``repro.core.runner``), whose process-wide default honours
+three environment variables:
 
 * ``REPRO_CACHE_DIR`` — persistent on-disk result store shared with
   ``python -m repro.cli run-all``; a warmed cache makes the whole benchmark
-  suite skip simulation entirely;
-* ``REPRO_JOBS``     — worker processes used for missing grid points.
+  suite skip simulation entirely (compiled traces are memoised under
+  ``$REPRO_CACHE_DIR/traces/`` too);
+* ``REPRO_STORE``     — result-store backend: ``json`` (sharded files, the
+  default) or ``sqlite`` (one WAL-mode ``results.db``);
+* ``REPRO_JOBS``      — worker processes used for missing grid points.
 """
 
 import os
@@ -29,5 +32,6 @@ def pytest_terminal_summary(terminalreporter):
     from repro.core.runner import get_engine
 
     engine = get_engine()
+    engine.store.flush()  # persist any buffered store metadata (index file)
     if engine.simulated or engine.disk_hits or engine.memory_hits:
         terminalreporter.write_line(engine.summary())

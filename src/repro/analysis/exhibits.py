@@ -14,6 +14,7 @@ from typing import Callable, Iterable
 from repro.analysis.report import (
     format_table,
     report_latency_tolerance,
+    report_lost_decode,
     report_port_idle,
     report_simple_curves,
     report_speedup_curves,
@@ -107,6 +108,12 @@ EXHIBITS: tuple[Exhibit, ...] = (
         "figure9", "Figure 9: early vs late (precise-trap) commit",
         lambda programs, scale: experiments.figure9_commit_models(programs, scale=scale),
         _render_figure9,
+    ),
+    Exhibit(
+        "figure10", "Figure 10: lost decode cycles",
+        lambda programs, scale: experiments.figure10_lost_decode_cycles(
+            programs, scale=scale),
+        report_lost_decode,
     ),
     Exhibit(
         "figure11", "Figure 11: scalar load elimination speedup",

@@ -1,0 +1,105 @@
+"""Machine-readable exhibit output (``run-all --format json/csv``).
+
+The ``table*``/``figure*`` experiment functions return plain Python data,
+but not JSON-ready data: state breakdowns are keyed by ``(FU2, FU1, MEM)``
+boolean tuples, latency/register sweeps by integers, and Table 2 rows are
+:class:`~repro.trace.stats.TraceStatistics` dataclasses.  This module
+normalises all of that:
+
+* :func:`to_jsonable` — recursively convert any exhibit payload into JSON
+  types (tuple state keys are rendered with the paper's ``<FU2,FU1,MEM>``
+  notation, dataclasses become field dictionaries);
+* :func:`render_json` — one JSON document covering a whole ``run-all``
+  invocation (metadata plus every exhibit's data);
+* :func:`render_csv` — the same data flattened into ``exhibit,path,value``
+  rows, one leaf value per row, for spreadsheet/pandas consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import math
+from typing import Mapping, Sequence
+
+from repro.common.stats import format_state
+
+
+def _key_to_str(key: object) -> str:
+    """Render a mapping key as a stable string column/field name."""
+    if isinstance(key, str):
+        return key
+    if (
+        isinstance(key, tuple)
+        and len(key) == 3
+        and all(isinstance(part, bool) for part in key)
+    ):
+        return format_state(key)  # (FU2, FU1, MEM) busy-state tuples
+    return str(key)
+
+
+def to_jsonable(value: object) -> object:
+    """Recursively convert exhibit data into JSON-serialisable types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {_key_to_str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None  # NaN/±Infinity have no strict-JSON spelling
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def exhibits_payload(
+    exhibits: Mapping[str, object],
+    scale: str,
+    programs: Sequence[str] | None,
+    engine_summary: Mapping[str, object] | None = None,
+) -> dict:
+    """The full machine-readable document for one ``run-all`` invocation."""
+    payload: dict = {
+        "scale": scale,
+        "programs": list(programs) if programs is not None else None,
+        "exhibits": {name: to_jsonable(data) for name, data in exhibits.items()},
+    }
+    if engine_summary is not None:
+        payload["engine"] = dict(engine_summary)
+    return payload
+
+
+def render_json(payload: Mapping) -> str:
+    """Pretty-print the :func:`exhibits_payload` document (strict JSON)."""
+    return json.dumps(payload, indent=2, sort_keys=False, allow_nan=False)
+
+
+def _flatten(prefix: list[str], value: object, rows: list[tuple[str, object]]) -> None:
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            _flatten(prefix + [str(key)], item, rows)
+    elif isinstance(value, list):
+        for idx, item in enumerate(value):
+            _flatten(prefix + [str(idx)], item, rows)
+    else:
+        rows.append(("/".join(prefix), value))
+
+
+def render_csv(payload: Mapping) -> str:
+    """Flatten the document into ``exhibit,path,value`` CSV rows.
+
+    ``path`` is the slash-joined key path inside the exhibit's (jsonable)
+    data structure, e.g. ``figure5/trfd/curves/OOOVA-16/32``.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["exhibit", "path", "value"])
+    for name, data in payload.get("exhibits", {}).items():
+        rows: list[tuple[str, object]] = []
+        _flatten([], data, rows)
+        for path, value in rows:
+            writer.writerow([name, path, value])
+    return buffer.getvalue()

@@ -137,6 +137,20 @@ def report_port_idle(results: Mapping[str, Mapping], title: str) -> str:
     return format_table(headers, rows, title=title + " (% idle cycles)")
 
 
+def report_lost_decode(results: Mapping[str, Mapping[int, Mapping[str, object]]]) -> str:
+    """Figure 10-style lost-decode-cycles breakdown, one row per (program, regs)."""
+    headers = ["program", "regs", "cycles", "rename", "rob", "queue", "% lost"]
+    rows = []
+    for program, by_regs in results.items():
+        for regs, row in by_regs.items():
+            rows.append([program, regs, row["cycles"], row["rename"], row["rob"],
+                         row["queue"], row["lost_percent"]])
+    return format_table(
+        headers, rows,
+        title="Figure 10: decode cycles lost to rename/ROB/queue stalls",
+    )
+
+
 def report_traffic_reduction(results: Mapping[str, Mapping[str, float]]) -> str:
     """Figure 13-style traffic-reduction ratios."""
     headers = ["program", "SLE", "SLE+VLE"]

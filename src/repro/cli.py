@@ -10,11 +10,19 @@ paper's evaluation in one command, batched through the experiment engine::
 * ``--jobs``      — fan the missing simulation points of each exhibit's grid
   out across that many worker processes;
 * ``--cache-dir`` — persistent on-disk result store: a second run of the
-  same command performs **zero** simulations and only re-renders reports;
+  same command performs **zero** simulations and only re-renders reports.
+  Compiled workload traces are memoised under ``<cache-dir>/traces/`` too;
+* ``--store``     — result-store backend: ``json`` (sharded per-result
+  files, the default) or ``sqlite`` (one WAL-mode ``results.db``, safe for
+  concurrent writers).  ``REPRO_STORE`` sets the default;
+* ``--format``    — ``text`` (ASCII reports, the default), ``json`` (one
+  machine-readable document) or ``csv`` (flat ``exhibit,path,value`` rows);
 * ``--exhibits``  — comma-separated subset (e.g. ``figure5,figure8``);
 * ``--programs``  — comma-separated subset of the ten benchmark programs.
 
-``python -m repro.cli list`` prints the available exhibits and programs.
+``python -m repro.cli gc --cache-dir D`` evicts cache entries that are
+corrupt, version-stale or no longer validate; ``python -m repro.cli list``
+prints the available exhibits and programs.
 """
 
 from __future__ import annotations
@@ -22,14 +30,22 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.exhibits import EXHIBIT_NAMES, get_exhibits
-from repro.core.runner import configure_engine
+from repro.analysis.export import exhibits_payload, render_csv, render_json
+from repro.common.errors import ReproError
+from repro.core.runner import TRACE_SUBDIR, ResultStore, configure_engine
+from repro.core.store import BACKEND_NAMES, default_backend_kind
+from repro.trace.store import TraceStore
 from repro.workloads.registry import WORKLOAD_NAMES
 
 #: CLI scale names; ``full`` maps to the largest built-in workload scale
 SCALE_ALIASES = {"small": "small", "full": "medium"}
+
+#: run-all output formats
+FORMATS = ("text", "json", "csv")
 
 
 def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
@@ -46,10 +62,20 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                          help="worker processes for missing simulation points")
     run_all.add_argument("--cache-dir", default=None, metavar="D",
                          help="persistent on-disk result store directory")
+    run_all.add_argument("--store", choices=BACKEND_NAMES, default=None,
+                         help="result-store backend (default: $REPRO_STORE or json)")
+    run_all.add_argument("--format", choices=FORMATS, default="text",
+                         help="output format (default: text)")
     run_all.add_argument("--exhibits", default=None, metavar="NAMES",
                          help="comma-separated exhibit subset (default: all)")
     run_all.add_argument("--programs", default=None, metavar="NAMES",
                          help="comma-separated program subset (default: all)")
+
+    gc = sub.add_parser("gc", help="evict stale/corrupt result-store entries")
+    gc.add_argument("--cache-dir", required=True, metavar="D",
+                    help="result store directory to collect")
+    gc.add_argument("--store", choices=BACKEND_NAMES, default=None,
+                    help="result-store backend (default: $REPRO_STORE or json)")
 
     sub.add_parser("list", help="list available exhibits and programs")
     return parser.parse_args(argv)
@@ -65,6 +91,42 @@ def _cmd_list() -> int:
     print("exhibits:", ", ".join(EXHIBIT_NAMES))
     print("programs:", ", ".join(WORKLOAD_NAMES))
     print("scales:  ", ", ".join(sorted(SCALE_ALIASES)))
+    print("stores:  ", ", ".join(BACKEND_NAMES))
+    print("formats: ", ", ".join(FORMATS))
+    return 0
+
+
+def _resolve_store(args: argparse.Namespace) -> str | None:
+    """The backend kind to use: ``--store``, else a validated $REPRO_STORE.
+
+    argparse does not validate *defaults* against ``choices``, so an invalid
+    environment value must be rejected here with a clean error (signalled by
+    returning ``None`` — backend names are never falsy).
+    """
+    if args.store is not None:
+        return args.store
+    try:
+        return default_backend_kind()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    backend = _resolve_store(args)
+    if backend is None:
+        return 2
+    try:
+        store = ResultStore(args.cache_dir, backend=backend)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kept, evicted = store.gc()
+    store.close()
+    print(f"gc ({store.describe()}): {kept} kept, {evicted} evicted")
+    traces = TraceStore(Path(args.cache_dir) / TRACE_SUBDIR)
+    tkept, tevicted = traces.gc()
+    print(f"gc (traces): {tkept} kept, {tevicted} evicted")
     return 0
 
 
@@ -92,27 +154,62 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             print(f"error: unknown program(s) {', '.join(unknown)}; "
                   f"available: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
             return 2
+    backend = _resolve_store(args)
+    if backend is None:
+        return 2
     scale = SCALE_ALIASES[args.scale]
-    engine = configure_engine(cache_dir=args.cache_dir, jobs=args.jobs)
+    try:
+        # Without a cache dir only an *explicit* --store reaches the engine
+        # (and is rejected there): a $REPRO_STORE default merely picks the
+        # backend kind, it is not a request for persistence.
+        engine = configure_engine(
+            cache_dir=args.cache_dir, jobs=args.jobs,
+            store=backend if args.cache_dir is not None else args.store,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
+    collected: dict[str, object] = {}
     started = time.perf_counter()
     for exhibit in exhibits:
         exhibit_started = time.perf_counter()
         data = exhibit.run(programs, scale)
-        report = exhibit.render(data)
         elapsed = time.perf_counter() - exhibit_started
-        print("=" * 78)
-        print(f"{exhibit.title}  [{exhibit.name}, {elapsed:.2f}s]")
-        print("=" * 78)
-        print(report)
-        print()
+        if args.format == "text":
+            report = exhibit.render(data)
+            print("=" * 78)
+            print(f"{exhibit.title}  [{exhibit.name}, {elapsed:.2f}s]")
+            print("=" * 78)
+            print(report)
+            print()
+        else:
+            collected[exhibit.name] = data
     total = time.perf_counter() - started
+    engine.store.flush()  # persist the (advisory) index in one final merge
 
-    print("-" * 78)
-    print(f"{len(exhibits)} exhibit(s) at scale '{args.scale}' in {total:.2f}s")
-    print(engine.summary())
+    if args.format != "text":
+        payload = exhibits_payload(
+            collected, args.scale, programs,
+            engine_summary={
+                "simulated": engine.simulated,
+                "disk_hits": engine.disk_hits,
+                "memory_hits": engine.memory_hits,
+                "jobs": engine.jobs,
+                "store": engine.store.describe(),
+            },
+        )
+        print(render_json(payload) if args.format == "json" else render_csv(payload))
+
+    # In json/csv mode the human-readable trailer goes to stderr so stdout
+    # stays a single parseable document.
+    trailer = sys.stdout if args.format == "text" else sys.stderr
+    print("-" * 78, file=trailer)
+    print(f"{len(exhibits)} exhibit(s) at scale '{args.scale}' in {total:.2f}s",
+          file=trailer)
+    print(engine.summary(), file=trailer)
     if args.cache_dir:
-        print(f"cache dir: {args.cache_dir}")
+        print(f"cache dir: {args.cache_dir}", file=trailer)
     return 0
 
 
@@ -120,6 +217,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "gc":
+        return _cmd_gc(args)
     return _cmd_run_all(args)
 
 

@@ -129,6 +129,25 @@ class SimStats:
             default=0,
         )
 
+    def lost_decode_cycles(self) -> dict[str, int]:
+        """Decode cycles lost to each front-end stall source (Figure 10).
+
+        The paper attributes every cycle the decode stage spends blocked to
+        the structural resource that caused it: no free physical register
+        (rename), a full reorder buffer (rob) or a full issue queue (queue).
+        """
+        return {
+            "rename": self.rename_stall_cycles,
+            "rob": self.rob_stall_cycles,
+            "queue": self.queue_stall_cycles,
+        }
+
+    def lost_decode_fraction(self) -> float:
+        """Fraction of total execution time lost to decode stalls."""
+        if self.cycles == 0:
+            return 0.0
+        return sum(self.lost_decode_cycles().values()) / self.cycles
+
     def vectorization_percent(self) -> float:
         """Percentage of operations performed by vector instructions (Table 2)."""
         denom = self.scalar_instructions + self.branch_instructions + self.vector_operations

@@ -262,6 +262,55 @@ def figure8_latency_tolerance(
 
 
 # ---------------------------------------------------------------------------
+# Lost decode cycles (Figure 10)
+# ---------------------------------------------------------------------------
+
+
+def lost_decode_row(stats) -> dict[str, object]:
+    """One Figure 10 row: stall-cycle breakdown plus the lost percentage.
+
+    Split out from :func:`figure10_lost_decode_cycles` so regression tests
+    can pin hand-derived values on a built trace without running a grid.
+    """
+    breakdown = stats.lost_decode_cycles()
+    return {
+        "cycles": stats.cycles,
+        "rename": breakdown["rename"],
+        "rob": breakdown["rob"],
+        "queue": breakdown["queue"],
+        "lost_percent": 100.0 * stats.lost_decode_fraction(),
+    }
+
+
+def figure10_lost_decode_cycles(
+    programs: Iterable[str] | None = None,
+    register_counts: Sequence[int] = REGISTER_SWEEP,
+    latency: int = DEFAULT_LATENCY,
+    scale: str = "small",
+    engine: ExperimentEngine | None = None,
+) -> dict[str, dict[int, dict[str, object]]]:
+    """Figure 10: decode cycles lost to rename/ROB/queue stalls.
+
+    Uses the same early-commit OOOVA configurations as Figure 5's
+    16-slot-queue curve, so with a warm store this exhibit costs no new
+    simulations: pressure on the rename free lists falls (and the lost
+    fraction with it) as physical registers are added.
+    """
+    names = _programs(programs)
+    configs = {
+        regs: ooo_config(phys_vregs=regs, latency=latency) for regs in register_counts
+    }
+    grid = _Grid("figure10", names, tuple(configs.values()), scale, engine)
+    return {
+        name: {
+            regs: lost_decode_row(grid(name, config).stats)
+            for regs, config in configs.items()
+        }
+        for name in names
+    }
+
+
+# ---------------------------------------------------------------------------
 # Precise traps (Figure 9)
 # ---------------------------------------------------------------------------
 

@@ -8,12 +8,19 @@ hundreds of them.  This module turns that grid into a first-class object:
 * :class:`ExperimentSpec` — a named collection of points (the grid behind
   one table or figure);
 * :class:`ResultStore` — a two-level result cache: an in-memory map plus an
-  optional persistent on-disk JSON store keyed by a configuration
-  fingerprint, so repeated benchmark/test/CLI runs skip simulation entirely;
+  optional persistent backend (:mod:`repro.core.store`) keyed by a
+  configuration fingerprint.  Two production backends — sharded JSON files
+  and a single WAL-mode SQLite database — are selected with the
+  ``backend`` argument, the CLI's ``--store`` flag or the ``REPRO_STORE``
+  environment variable;
 * :class:`ExperimentEngine` — executes the missing points of a spec, batched
   across a :class:`concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``
   (workers rebuild the simulators from the picklable points and ship results
-  back as JSON-compatible dictionaries).
+  back as JSON-compatible dictionaries).  With a cache directory configured
+  the engine also memoises compiled traces on disk
+  (:class:`repro.trace.store.TraceStore`) and pre-warms them before fanning
+  out, so each workload trace is compiled at most once per grid instead of
+  once per worker process.
 
 Every ``table*``/``figure*`` function in :mod:`repro.core.experiments`
 declares its grid and pulls results through the process-wide default engine
@@ -28,6 +35,7 @@ to mutate what they receive without corrupting later experiments.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -40,13 +48,22 @@ from repro.common.errors import ReproError
 from repro.common.params import params_to_dict
 from repro.core.config import MachineConfig
 from repro.core.results import SimulationResult
+from repro.core.store import (  # noqa: F401  (STORE_VERSION re-exported)
+    BACKEND_NAMES,
+    STORE_ENV,
+    STORE_VERSION,
+    StoreBackend,
+    decode_payload,
+    make_backend,
+)
+from repro.trace.store import TraceStore
 
 #: environment knobs picked up by the default engine (see :func:`get_engine`)
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 JOBS_ENV = "REPRO_JOBS"
 
-#: on-disk store format version; bump when the result payload shape changes
-STORE_VERSION = 1
+#: subdirectory of the cache dir holding memoised compiled traces
+TRACE_SUBDIR = "traces"
 
 
 @dataclass(frozen=True)
@@ -106,34 +123,55 @@ class ExperimentSpec:
         return len(self.points)
 
 
-def _simulate_point(point: ExperimentPoint) -> dict:
+def _simulate_point(point: ExperimentPoint, trace_dir: str | None = None) -> dict:
     """Execute one point and return the serialised result.
 
     Top-level function so :class:`ProcessPoolExecutor` can pickle it; the
     imports are deferred to avoid a circular import with
     :mod:`repro.core.simulator` (which routes ``run_cached`` through this
-    module's default engine).
+    module's default engine).  With a ``trace_dir`` the workload trace is
+    loaded from the :class:`TraceStore` instead of being recompiled.
     """
-    from repro.core.simulator import simulate_trace
-    from repro.workloads.registry import get_workload
+    from repro.core.simulator import simulate_point
 
-    workload = get_workload(point.workload, point.scale)
-    result = simulate_trace(workload.trace(), point.config)
-    return result.to_dict()
+    trace_store = TraceStore(trace_dir) if trace_dir is not None else None
+    return simulate_point(
+        point.workload, point.scale, point.config, trace_store=trace_store
+    ).to_dict()
 
 
 class ResultStore:
-    """Two-level simulation-result cache: in-memory dict plus on-disk JSON.
+    """Two-level simulation-result cache: in-memory dict plus a disk backend.
 
     Entries are keyed by :meth:`ExperimentPoint.fingerprint`.  With a
-    ``cache_dir`` every stored result is also written to
-    ``<cache_dir>/<workload>-<scale>-<config_name>-<fingerprint[:16]>.json``
-    and picked up again by later processes; without one the store is purely
-    in-memory (the behaviour of the old ``lru_cache``, minus the aliasing).
+    ``cache_dir`` every stored result is also persisted through a
+    :class:`~repro.core.store.StoreBackend` — sharded JSON files by default,
+    or SQLite via ``backend="sqlite"`` / ``REPRO_STORE=sqlite`` — and picked
+    up again by later processes; without one the store is purely in-memory
+    (the behaviour of the old ``lru_cache``, minus the aliasing).
     """
 
-    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        backend: str | StoreBackend | None = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if isinstance(backend, StoreBackend):
+            self.backend: StoreBackend | None = backend
+            if self.cache_dir is None:
+                self.cache_dir = getattr(backend, "cache_dir", None)
+        elif self.cache_dir is not None:
+            self.backend = make_backend(backend, self.cache_dir)
+        elif backend is not None:
+            # Silently keeping a memory-only store would surprise a caller
+            # who explicitly asked for persistence.
+            raise ReproError(
+                f"store backend {backend!r} requires a cache directory "
+                "(--cache-dir / REPRO_CACHE_DIR)"
+            )
+        else:
+            self.backend = None
         self._memory: dict[str, SimulationResult] = {}
         self.memory_hits = 0
         self.disk_hits = 0
@@ -147,16 +185,15 @@ class ResultStore:
         if cached is not None:
             self.memory_hits += 1
             return cached.copy()
-        if self.cache_dir is not None:
-            path = self._path(point, key)
-            if path.is_file():
-                try:
-                    payload = json.loads(path.read_text(encoding="utf-8"))
-                    result = SimulationResult.from_dict(payload["result"])
-                except (ValueError, KeyError, TypeError, ReproError):
-                    # Unreadable/stale entry (bad JSON, missing fields, or
-                    # params that no longer validate): drop and re-simulate.
-                    path.unlink(missing_ok=True)
+        if self.backend is not None:
+            payload = self.backend.get(key, point)
+            if payload is not None:
+                result = decode_payload(payload)
+                if result is None:
+                    # Stale entry (wrong version, missing fields, or params
+                    # that no longer validate — exactly what gc would
+                    # evict): drop and re-simulate.
+                    self.backend.delete(key, point)
                     return None
                 self._memory[key] = result
                 self.disk_hits += 1
@@ -167,7 +204,7 @@ class ResultStore:
         key = point.fingerprint()
         if key in self._memory:
             return True
-        return self.cache_dir is not None and self._path(point, key).is_file()
+        return self.backend is not None and self.backend.contains(key, point)
 
     # -- insertion ----------------------------------------------------------
 
@@ -175,8 +212,7 @@ class ResultStore:
         """Store ``result`` for ``point`` (memory, and disk when configured)."""
         key = point.fingerprint()
         self._memory[key] = result
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if self.backend is not None:
             payload = {
                 "version": STORE_VERSION,
                 "key": {
@@ -188,28 +224,54 @@ class ResultStore:
                 },
                 "result": result.to_dict(),
             }
-            path = self._path(point, key)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(payload), encoding="utf-8")
-            tmp.replace(path)
+            self.backend.put(key, point, payload)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
         self._memory.clear()
 
-    def _path(self, point: ExperimentPoint, key: str) -> Path:
-        name = f"{point.workload}-{point.scale}-{point.config.name}-{key[:16]}.json"
-        return self.cache_dir / name
+    # -- maintenance --------------------------------------------------------
+
+    def gc(self) -> tuple[int, int]:
+        """Evict stale/corrupt disk entries; returns ``(kept, evicted)``."""
+        if self.backend is None:
+            return (0, 0)
+        return self.backend.gc()
+
+    def flush(self) -> None:
+        """Persist buffered backend metadata (e.g. the JSON index file)."""
+        if self.backend is not None:
+            self.backend.flush()
+
+    def close(self) -> None:
+        if self.backend is not None:
+            self.backend.close()
+
+    def describe(self) -> str:
+        """Short description of the persistence layer (for summaries)."""
+        return self.backend.describe() if self.backend is not None else "memory"
 
 
 class ExperimentEngine:
     """Executes sweep grids against a result store, optionally in parallel."""
 
-    def __init__(self, store: ResultStore | None = None, jobs: int = 1) -> None:
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        jobs: int = 1,
+        trace_store: TraceStore | None = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.store = store if store is not None else ResultStore()
         self.jobs = jobs
+        if trace_store is None and self.store.cache_dir is not None:
+            trace_store = TraceStore(self.store.cache_dir / TRACE_SUBDIR)
+        self.trace_store = trace_store
+        #: (workload, scale) pairs already ensured on disk — without this
+        #: memo every exhibit batch would re-validate (fully unpickle) each
+        #: trace in the parent, the very cost the store exists to avoid
+        self._ensured: set[tuple[str, str]] = set()
         #: points actually simulated (cache misses) over this engine's life
         self.simulated = 0
 
@@ -250,9 +312,24 @@ class ExperimentEngine:
 
     # -- internals ----------------------------------------------------------
 
+    def _prewarm_traces(self, points: Sequence[ExperimentPoint]) -> None:
+        """Compile (at most once) and persist every trace the batch needs.
+
+        Running this in the parent before fanning out guarantees worker
+        processes only deserialise traces — a cold parallel sweep compiles
+        each (workload, scale) exactly once instead of once per worker.
+        """
+        if self.trace_store is None:
+            return
+        for key in dict.fromkeys((p.workload, p.scale) for p in points):
+            if key not in self._ensured:
+                self.trace_store.ensure(*key)
+                self._ensured.add(key)
+
     def _execute(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
         if not points:
             return []
+        self._prewarm_traces(points)
         if self.jobs > 1 and len(points) > 1:
             try:
                 return self._execute_parallel(points)
@@ -261,13 +338,28 @@ class ExperimentEngine:
                 # lose their workers mid-run; fall back to in-process
                 # execution rather than failing the whole sweep.
                 pass
-        return [SimulationResult.from_dict(_simulate_point(p)) for p in points]
+        trace_dir = (
+            str(self.trace_store.cache_dir) if self.trace_store is not None else None
+        )
+        return [
+            SimulationResult.from_dict(_simulate_point(p, trace_dir)) for p in points
+        ]
 
     def _execute_parallel(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
         workers = min(self.jobs, len(points))
         chunksize = max(1, len(points) // (workers * 4))
+        trace_dir = (
+            str(self.trace_store.cache_dir) if self.trace_store is not None else None
+        )
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            payloads = list(pool.map(_simulate_point, points, chunksize=chunksize))
+            payloads = list(
+                pool.map(
+                    _simulate_point,
+                    points,
+                    itertools.repeat(trace_dir),
+                    chunksize=chunksize,
+                )
+            )
         return [SimulationResult.from_dict(payload) for payload in payloads]
 
     # -- statistics ---------------------------------------------------------
@@ -282,10 +374,14 @@ class ExperimentEngine:
 
     def summary(self) -> str:
         """One-line cache/execution summary (printed by the CLI)."""
-        return (
+        line = (
             f"engine: {self.simulated} simulated, {self.disk_hits} disk hits, "
-            f"{self.memory_hits} memory hits, jobs={self.jobs}"
+            f"{self.memory_hits} memory hits, jobs={self.jobs}, "
+            f"store={self.store.describe()}"
         )
+        if self.trace_store is not None:
+            line += f", {self.trace_store.summary()}"
+        return line
 
 
 # ---------------------------------------------------------------------------
@@ -298,9 +394,10 @@ _default_engine: ExperimentEngine | None = None
 def get_engine() -> ExperimentEngine:
     """Return the process-wide default engine, creating it on first use.
 
-    The initial engine honours the ``REPRO_CACHE_DIR`` and ``REPRO_JOBS``
-    environment variables, so test and benchmark runs can share a persistent
-    cache without any code changes.
+    The initial engine honours the ``REPRO_CACHE_DIR``, ``REPRO_JOBS`` and
+    ``REPRO_STORE`` environment variables, so test and benchmark runs can
+    share a persistent cache (and pick a store backend) without any code
+    changes.
     """
     global _default_engine
     if _default_engine is None:
@@ -314,18 +411,31 @@ def get_engine() -> ExperimentEngine:
 
 
 def configure_engine(
-    cache_dir: str | os.PathLike | None = None, jobs: int = 1
+    cache_dir: str | os.PathLike | None = None,
+    jobs: int = 1,
+    store: str | StoreBackend | None = None,
 ) -> ExperimentEngine:
     """Replace the default engine (used by the CLI and by tests)."""
-    global _default_engine
-    _default_engine = ExperimentEngine(ResultStore(cache_dir), jobs=jobs)
-    return _default_engine
+    engine = ExperimentEngine(ResultStore(cache_dir, backend=store), jobs=jobs)
+    set_engine(engine)
+    return engine
 
 
 def set_engine(engine: ExperimentEngine | None) -> None:
-    """Install ``engine`` as the default (``None`` resets to lazy creation)."""
+    """Install ``engine`` as the default (``None`` resets to lazy creation).
+
+    The outgoing engine's store is closed (flushing buffered metadata and
+    releasing any SQLite connection) unless the incoming engine shares it.
+    """
     global _default_engine
+    previous = _default_engine
     _default_engine = engine
+    if (
+        previous is not None
+        and previous is not engine
+        and (engine is None or previous.store is not engine.store)
+    ):
+        previous.store.close()
 
 
 def run_experiment(

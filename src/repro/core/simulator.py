@@ -23,6 +23,7 @@ from repro.core.runner import get_engine
 from repro.ooo.machine import OOOVectorSimulator
 from repro.refsim.machine import ReferenceSimulator
 from repro.trace.records import Trace
+from repro.trace.store import TraceStore
 from repro.workloads.base import Workload
 from repro.workloads.registry import get_workload
 
@@ -55,6 +56,26 @@ def run(workload: Workload | str, config: MachineConfig, scale: str = "small") -
     if isinstance(workload, str):
         workload = get_workload(workload, scale)
     return simulate_trace(workload.trace(), config)
+
+
+def simulate_point(
+    workload_name: str,
+    scale: str,
+    config: MachineConfig,
+    trace_store: TraceStore | None = None,
+) -> SimulationResult:
+    """Simulate one (workload, scale, configuration) point.
+
+    This is the entry point the experiment engine's worker processes call:
+    with a :class:`TraceStore` the compiled trace is deserialised from disk
+    (the engine pre-warms the store in the parent process) instead of being
+    recompiled per worker.
+    """
+    if trace_store is not None:
+        trace = trace_store.load_memoised(workload_name, scale)
+    else:
+        trace = get_workload(workload_name, scale).trace()
+    return simulate_trace(trace, config)
 
 
 def run_cached(workload_name: str, config: MachineConfig, scale: str = "small") -> SimulationResult:

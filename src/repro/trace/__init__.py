@@ -7,6 +7,7 @@ from repro.trace.generator import (
 )
 from repro.trace.records import DynInstr, Trace
 from repro.trace.stats import TraceStatistics, compute_trace_statistics
+from repro.trace.store import TRACE_STORE_VERSION, TraceStore
 
 __all__ = [
     "DEFAULT_MAX_DYNAMIC_INSTRUCTIONS",
@@ -16,4 +17,6 @@ __all__ = [
     "Trace",
     "TraceStatistics",
     "compute_trace_statistics",
+    "TRACE_STORE_VERSION",
+    "TraceStore",
 ]

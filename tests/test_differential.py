@@ -1,0 +1,69 @@
+"""Differential regression sweep: OoO machine versus the in-order reference.
+
+Every registered workload is run once at the ``small`` scale (the scale the
+paper harness uses) through both simulators; the results are cached at
+module scope so each (workload, machine) pair is simulated exactly once no
+matter how many invariants are checked against it.
+
+The invariants are the cross-machine contracts every refactor must
+preserve: both machines execute the identical dynamic instruction stream
+(same trace), the out-of-order machine never loses to the in-order
+reference, and its stall accounting stays physically sensible.
+"""
+
+import functools
+
+import pytest
+
+from repro.core.config import ooo_config, reference_config
+from repro.core.simulator import run
+from repro.workloads.registry import WORKLOAD_NAMES
+
+SCALE = "small"
+
+
+@functools.lru_cache(maxsize=None)
+def _pair(name):
+    """Simulate ``name`` on both machines once per test session."""
+    reference = run(name, reference_config(), scale=SCALE)
+    ooo = run(name, ooo_config(), scale=SCALE)
+    return reference, ooo
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestReferenceVsOOODifferential:
+    def test_identical_instruction_and_operation_counts(self, name):
+        ref, ooo = (r.stats for r in _pair(name))
+        assert ref.scalar_instructions == ooo.scalar_instructions
+        assert ref.vector_instructions == ooo.vector_instructions
+        assert ref.branch_instructions == ooo.branch_instructions
+        assert ref.vector_operations == ooo.vector_operations
+        assert ref.traffic.total_ops == ooo.traffic.total_ops
+
+    def test_ooo_cycles_never_exceed_reference(self, name):
+        reference, ooo = _pair(name)
+        assert 0 < ooo.cycles <= reference.cycles
+
+    def test_stall_statistics_are_non_negative_and_bounded(self, name):
+        _, ooo = _pair(name)
+        stats = ooo.stats
+        lost = stats.lost_decode_cycles()
+        assert all(cycles >= 0 for cycles in lost.values())
+        # each individual stall source can never exceed total execution time
+        assert all(cycles <= stats.cycles for cycles in lost.values())
+        assert 0.0 <= stats.lost_decode_fraction()
+
+    def test_reference_machine_reports_no_ooo_counters(self, name):
+        reference, _ = _pair(name)
+        stats = reference.stats
+        assert stats.rename_stall_cycles == 0
+        assert stats.rob_stall_cycles == 0
+        assert stats.queue_stall_cycles == 0
+        assert stats.loads_eliminated == 0
+
+    def test_busy_intervals_fit_inside_execution(self, name):
+        for result in _pair(name):
+            stats = result.stats
+            for unit in ("FU1", "FU2", "MEM"):
+                assert 0 <= stats.unit_busy_cycles(unit) <= stats.cycles
+            assert stats.address_port_busy_cycles <= stats.cycles

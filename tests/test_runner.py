@@ -2,6 +2,7 @@
 serialisation round-trips and the command-line driver."""
 
 import json
+import os
 from concurrent.futures.process import BrokenProcessPool
 
 import pytest
@@ -97,22 +98,30 @@ class TestFingerprints:
 
 
 class TestResultStore:
+    """Default (sharded JSON) backend behaviour through the ResultStore API.
+
+    Both backends are exercised uniformly (including with hypothesis) in
+    ``tests/test_store_backends.py``; these tests pin the default layout.
+    """
+
     def test_disk_round_trip(self, tmp_path):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, backend="json")
         point = _point()
         result = run("trfd", point.config, scale="tiny")
         store.put(point, result)
-        files = list(tmp_path.glob("*.json"))
+        files = list(tmp_path.glob("??/*.json"))
         assert len(files) == 1
+        # Entries are sharded into <fingerprint[:2]>/ subdirectories.
+        assert files[0].parent.name == point.fingerprint()[:2]
         # A brand-new store (fresh process, in spirit) finds it on disk.
-        fresh = ResultStore(tmp_path)
+        fresh = ResultStore(tmp_path, backend="json")
         fetched = fresh.get(point)
         assert fetched is not None
         assert fetched.cycles == result.cycles
         assert fresh.disk_hits == 1
 
     def test_get_returns_independent_copies(self, tmp_path):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, backend="json")
         point = _point()
         store.put(point, run("trfd", point.config, scale="tiny"))
         first = store.get(point)
@@ -121,36 +130,59 @@ class TestResultStore:
         assert second.cycles > 0
 
     def test_corrupt_disk_entry_is_dropped(self, tmp_path):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, backend="json")
         point = _point()
         store.put(point, run("trfd", point.config, scale="tiny"))
-        path = list(tmp_path.glob("*.json"))[0]
+        path = list(tmp_path.glob("??/*.json"))[0]
         path.write_text("{not json", encoding="utf-8")
-        fresh = ResultStore(tmp_path)
+        fresh = ResultStore(tmp_path, backend="json")
         assert fresh.get(point) is None
         assert not path.exists()
 
     def test_stale_entry_with_invalid_params_is_dropped(self, tmp_path):
         # Valid JSON whose params no longer validate (e.g. written by an
         # older schema) must self-heal too, not crash with a ReproError.
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, backend="json")
         point = _point()
         store.put(point, run("trfd", point.config, scale="tiny"))
-        path = list(tmp_path.glob("*.json"))[0]
+        path = list(tmp_path.glob("??/*.json"))[0]
         payload = json.loads(path.read_text(encoding="utf-8"))
         payload["result"]["params"]["num_phys_vregs"] = 4  # out of range
         path.write_text(json.dumps(payload), encoding="utf-8")
-        fresh = ResultStore(tmp_path)
+        fresh = ResultStore(tmp_path, backend="json")
         assert fresh.get(point) is None
         assert not path.exists()
 
     def test_clear_memory_keeps_disk(self, tmp_path):
-        store = ResultStore(tmp_path)
+        store = ResultStore(tmp_path, backend="json")
         point = _point()
         store.put(point, run("trfd", point.config, scale="tiny"))
         store.clear_memory()
         assert store.get(point) is not None
         assert store.disk_hits == 1
+
+    def test_put_uses_unique_temp_names(self, tmp_path, monkeypatch):
+        # Two workers storing the same point concurrently must never share
+        # a temp file (the old path.with_suffix(".tmp") did).
+        import repro.core.store as store_mod
+
+        seen = []
+        real_replace = os.replace
+
+        def recording_replace(src, dst):
+            seen.append(str(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(store_mod.os, "replace", recording_replace)
+        store = ResultStore(tmp_path, backend="json")
+        point = _point()
+        result = run("trfd", point.config, scale="tiny")
+        store.put(point, result)
+        store.put(point, result)
+        tmp_names = [name for name in seen if name.endswith(".tmp")]
+        assert len(tmp_names) == 2
+        assert tmp_names[0] != tmp_names[1]
+        assert all(f".{os.getpid()}." in name for name in tmp_names)
 
 
 class TestEngine:
@@ -206,10 +238,10 @@ class TestEngine:
 
 class TestRunCachedIntegration:
     def test_run_cached_uses_configured_engine(self, tmp_path):
-        engine = configure_engine(cache_dir=tmp_path, jobs=1)
+        engine = configure_engine(cache_dir=tmp_path, jobs=1, store="json")
         run_cached("trfd", ooo_config(), scale="tiny")
         assert engine.simulated == 1
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.glob("??/*.json"))
         # Same point again: served from the store, no new simulation.
         run_cached("trfd", ooo_config(), scale="tiny")
         assert engine.simulated == 1
