@@ -1,5 +1,10 @@
 """Helpers shared by the benchmark modules."""
 
+#: report blocks collected during the session, printed by the conftest's
+#: ``pytest_terminal_summary`` hook — after capture has ended, so they are
+#: visible under plain ``pytest -q`` as well as ``-s``
+REPORTS: list[tuple[str, str]] = []
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark and return its result.
@@ -11,9 +16,17 @@ def run_once(benchmark, func, *args, **kwargs):
 
 
 def emit(title: str, body: str) -> None:
-    """Print a report block so it appears in the pytest output (-s or summary)."""
-    print()
-    print("=" * 78)
-    print(title)
-    print("=" * 78)
-    print(body)
+    """Queue a report block for the end-of-run terminal summary.
+
+    ``print`` under the default capture mode lands in pytest's per-test
+    buffer and is discarded for passing tests, so ``pytest -q`` used to
+    swallow every report.  Blocks are now collected here and written by
+    ``pytest_terminal_summary`` (see ``benchmarks/conftest.py``), which runs
+    after capture has been torn down.
+    """
+    REPORTS.append((title, body))
+
+
+def render_report(title: str, body: str) -> str:
+    bar = "=" * 78
+    return f"\n{bar}\n{title}\n{bar}\n{body}"

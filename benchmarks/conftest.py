@@ -28,7 +28,19 @@ for path in (_HERE, _SRC):
 
 
 def pytest_terminal_summary(terminalreporter):
-    """Report how much work the experiment engine actually did (or skipped)."""
+    """Print the queued exhibit reports, then the engine's work summary.
+
+    This hook runs after pytest's capture has been torn down, so the report
+    blocks reach the terminal under plain ``pytest -q`` — ``emit`` used to
+    ``print`` them from inside tests, where passing-test capture silently
+    swallowed every block.
+    """
+    import _harness
+
+    for title, body in _harness.REPORTS:
+        terminalreporter.write_line(_harness.render_report(title, body))
+    _harness.REPORTS.clear()
+
     from repro.core.runner import get_engine
 
     engine = get_engine()

@@ -1,0 +1,423 @@
+"""Performance-tracking benchmark harness (``python -m repro.bench``).
+
+Times every requested (workload, configuration) point twice — one
+monolithic pass and one chunked pass through :mod:`repro.parallel` — and
+writes a ``BENCH_<rev>.json`` document that seeds the repository's
+performance trajectory.  Each row records wall-clock for both modes,
+simulated cycles per second, the chunked/monolithic speedup and, crucially,
+whether the two runs produced **identical** statistics; equivalence is the
+one result that must never regress.
+
+``--check`` gates the run against a committed baseline
+(``benchmarks/baseline.json``), failing when equivalence breaks or when a
+point's chunked-over-monolithic wall-clock ratio regresses more than the
+baseline's ``allowed_regression`` (25% by default).  The gate compares
+*ratios*, not raw seconds, so it holds steady across machines of different
+speeds; raw walls are recorded for humans and trend dashboards.
+``--update-baseline`` rewrites the baseline from the current run.
+
+CI runs ``python -m repro.bench --scale small --check`` on every push and
+uploads the ``BENCH_*.json`` artifact (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.config import standard_configs
+from repro.core.runner import ExperimentPoint
+from repro.core.simulator import simulate_trace
+from repro.parallel import DEFAULT_CHUNK_SIZE, ChunkedSimulation
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+#: benchmark document schema version
+BENCH_SCHEMA = 1
+
+#: configurations benchmarked by default: the two extremes of the paper —
+#: the in-order reference machine (quiesces often: chunk speculation wins)
+#: and the fully loaded OOOVA (rarely quiesces: exact-replay fallback)
+DEFAULT_CONFIGS = ("reference", "ooo-late-sle-vle")
+
+#: rows with a monolithic wall below this are reported but never gated
+#: (millisecond-scale timings are too noisy for a regression verdict)
+MIN_GATED_WALL_S = 0.05
+
+SCALE_ALIASES = {"small": "small", "full": "medium"}
+
+
+def _revision() -> str:
+    """Identify the revision being benchmarked (for the output file name)."""
+    rev = os.environ.get("BENCH_REV") or os.environ.get("GITHUB_SHA")
+    if rev:
+        return rev[:12]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "local"
+
+
+def _best_wall(fn, repeat: int) -> tuple[float, object]:
+    """Run ``fn`` ``repeat`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_point(
+    workload: str,
+    config,
+    scale: str,
+    chunk_size: int,
+    intra_jobs: int,
+    repeat: int,
+    pool=None,
+) -> dict:
+    """Benchmark one (workload, configuration) point.
+
+    Three timings: the monolithic pass, a cold chunked pass (speculation
+    pays the worker simulations), and a warm chunked pass against the chunk
+    store populated by the cold pass (every accepted chunk is read back
+    instead of re-simulated — the resumability the subsystem exists for,
+    and the one chunked win that shows even on a single-core machine).
+    """
+    import tempfile
+
+    from repro.parallel import ChunkStore
+
+    trace = get_workload(workload, scale).trace()
+    fingerprint = ExperimentPoint(workload, scale, config).fingerprint()
+
+    mono_wall, mono_result = _best_wall(
+        lambda: simulate_trace(trace, config), repeat)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chunks-") as tmp:
+        reports = []
+
+        def chunked(speculate: str, jobs: int, worker_pool):
+            sim = ChunkedSimulation(
+                trace, config.params, chunk_size=chunk_size, jobs=jobs,
+                speculate=speculate, chunk_store=ChunkStore(tmp),
+                point_fingerprint=fingerprint, pool=worker_pool,
+            )
+            stats = sim.run()
+            reports.append(sim.report)
+            return stats
+
+        cold_wall, cold_stats = _best_wall(
+            lambda: chunked("auto", intra_jobs, pool), 1)
+        cold_report = reports[-1]
+        # Warm pass: single process, no speculation workers — safe chunks
+        # come straight from the chunk store, the rest replay.  This is the
+        # resume path (crash recovery, re-sweeps) and its timing does not
+        # depend on how many cores the benchmark machine has.
+        warm_wall, warm_stats = _best_wall(
+            lambda: chunked("always", 1, None), repeat)
+        warm_report = reports[-1]
+
+    mono_stats = mono_result.stats
+    equivalent = (
+        mono_stats.to_dict() == cold_stats.to_dict()
+        and mono_stats.to_dict() == warm_stats.to_dict()
+    )
+    cycles = mono_stats.cycles
+
+    def _rate(wall: float):
+        return round(cycles / wall) if wall > 0 else None
+
+    return {
+        "workload": workload,
+        "config": config.name,
+        "scale": scale,
+        "instructions": len(trace),
+        "cycles": cycles,
+        "wall_s": {
+            "monolithic": round(mono_wall, 6),
+            "chunked": round(cold_wall, 6),
+            "chunked_warm": round(warm_wall, 6),
+        },
+        "sim_cycles_per_s": {
+            "monolithic": _rate(mono_wall),
+            "chunked": _rate(cold_wall),
+            "chunked_warm": _rate(warm_wall),
+        },
+        "speedup": round(mono_wall / cold_wall, 4) if cold_wall > 0 else None,
+        "speedup_warm": round(mono_wall / warm_wall, 4) if warm_wall > 0 else None,
+        "equivalent": equivalent,
+        "chunks": {
+            "total": cold_report.chunks,
+            "accepted": cold_report.accepted,
+            "replayed": cold_report.replayed,
+            "warm_cache_hits": warm_report.cache_hits,
+            "backoff_at": cold_report.backoff_at,
+        },
+    }
+
+
+def run_bench(
+    scale: str,
+    programs: Sequence[str],
+    config_names: Sequence[str],
+    chunk_size: int,
+    intra_jobs: int,
+    repeat: int,
+) -> dict:
+    """Benchmark the grid and assemble the ``BENCH_*.json`` document."""
+    configs = standard_configs()
+    pool = None
+    if intra_jobs > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=intra_jobs)
+        except OSError:
+            pool = None
+    results = []
+    try:
+        for workload in programs:
+            for name in config_names:
+                row = bench_point(
+                    workload, configs[name], scale, chunk_size, intra_jobs,
+                    repeat, pool=pool,
+                )
+                results.append(row)
+                status = "ok" if row["equivalent"] else "MISMATCH"
+                print(
+                    f"{workload:>9s} {name:17s} mono {row['wall_s']['monolithic']:7.3f}s "
+                    f"chunked {row['wall_s']['chunked']:7.3f}s "
+                    f"warm {row['wall_s']['chunked_warm']:7.3f}s "
+                    f"({row['speedup']:4.2f}x/{row['speedup_warm']:4.2f}x, "
+                    f"{row['chunks']['accepted']}/{row['chunks']['total']} "
+                    f"accepted) [{status}]",
+                    file=sys.stderr,
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    walls = [r["wall_s"] for r in results]
+    return {
+        "schema": BENCH_SCHEMA,
+        "rev": _revision(),
+        "scale": scale,
+        "chunk_size": chunk_size,
+        "intra_jobs": intra_jobs,
+        "repeat": repeat,
+        "points": len(results),
+        "totals": {
+            "wall_s_monolithic": round(sum(w["monolithic"] for w in walls), 6),
+            "wall_s_chunked": round(sum(w["chunked"] for w in walls), 6),
+            "all_equivalent": all(r["equivalent"] for r in results),
+        },
+        "results": results,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Baseline gating
+# ---------------------------------------------------------------------------
+
+#: the two gated wall-clock ratios; both are chunked-mode wall divided by
+#: the monolithic wall of the same run, so they transfer across machine
+#: speeds.  ``chunked_over_mono`` (the cold, speculating pass) also depends
+#: on core count; ``warm_over_mono`` (single-process resume from the chunk
+#: store) does not, which makes it the tighter regression signal.
+GATED_RATIOS = ("chunked", "chunked_warm")
+
+
+def _ratio(row: dict, mode: str) -> float | None:
+    mono = row["wall_s"]["monolithic"]
+    if mono <= 0:
+        return None
+    return row["wall_s"][mode] / mono
+
+
+def _aggregate_ratio(document: dict, mode: str) -> float | None:
+    """Fleet-wide ratio: total chunked-mode wall over total monolithic wall.
+
+    Per-point walls at small scale are tens of milliseconds — too noisy for
+    a tight gate — but the sum over the whole grid is stable, so the
+    aggregate carries the strict threshold and the per-point entries a
+    loose one.
+    """
+    mono = sum(r["wall_s"]["monolithic"] for r in document["results"])
+    if mono <= 0:
+        return None
+    return sum(r["wall_s"][mode] for r in document["results"]) / mono
+
+
+def baseline_from(document: dict) -> dict:
+    """Reduce a bench document to the committed baseline schema."""
+    entries = {}
+    for row in document["results"]:
+        ratios = {}
+        for mode in GATED_RATIOS:
+            ratio = _ratio(row, mode)
+            if ratio is not None:
+                ratios[f"{mode}_over_mono"] = round(ratio, 4)
+        if ratios:
+            entries[f"{row['workload']}/{row['config']}"] = ratios
+    aggregate = {}
+    for mode in GATED_RATIOS:
+        ratio = _aggregate_ratio(document, mode)
+        if ratio is not None:
+            aggregate[f"{mode}_over_mono"] = round(ratio, 4)
+    return {
+        "schema": BENCH_SCHEMA,
+        "scale": document["scale"],
+        "chunk_size": document["chunk_size"],
+        "intra_jobs": document["intra_jobs"],
+        "allowed_regression": {"aggregate": 0.25, "per_point": 0.6},
+        "aggregate": aggregate,
+        "entries": entries,
+    }
+
+
+def _allowances(baseline: dict) -> tuple[float, float]:
+    allowed = baseline.get("allowed_regression", {})
+    if isinstance(allowed, (int, float)):  # legacy scalar form
+        return float(allowed), float(allowed)
+    return (float(allowed.get("aggregate", 0.25)),
+            float(allowed.get("per_point", 0.6)))
+
+
+def check_against_baseline(document: dict, baseline: dict) -> list[str]:
+    """Return the list of violations (empty: the gate passes)."""
+    problems = []
+    for row in document["results"]:
+        label = f"{row['workload']}/{row['config']}"
+        if not row["equivalent"]:
+            problems.append(
+                f"{label}: chunked result differs from monolithic run")
+    aggregate_allowed, point_allowed = _allowances(baseline)
+    for mode in GATED_RATIOS:
+        reference = baseline.get("aggregate", {}).get(f"{mode}_over_mono")
+        ratio = _aggregate_ratio(document, mode)
+        if reference is None or ratio is None:
+            continue
+        if ratio > float(reference) * (1.0 + aggregate_allowed):
+            problems.append(
+                f"aggregate: {mode}/mono wall ratio {ratio:.3f} regressed "
+                f">{aggregate_allowed:.0%} vs baseline {float(reference):.3f}"
+            )
+    for row in document["results"]:
+        label = f"{row['workload']}/{row['config']}"
+        entry = baseline.get("entries", {}).get(label)
+        if entry is None:
+            continue
+        if row["wall_s"]["monolithic"] < MIN_GATED_WALL_S:
+            continue  # too fast to time reliably; equivalence still gated
+        for mode in GATED_RATIOS:
+            reference = entry.get(f"{mode}_over_mono")
+            ratio = _ratio(row, mode)
+            if reference is None or ratio is None:
+                continue
+            if ratio > float(reference) * (1.0 + point_allowed):
+                problems.append(
+                    f"{label}: {mode}/mono wall ratio {ratio:.3f} regressed "
+                    f">{point_allowed:.0%} vs baseline {float(reference):.3f}"
+                )
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time monolithic vs chunked simulation per workload.",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALE_ALIASES),
+                        default="small")
+    parser.add_argument("--programs", default=None, metavar="NAMES",
+                        help="comma-separated workload subset (default: all)")
+    parser.add_argument("--configs", default=",".join(DEFAULT_CONFIGS),
+                        metavar="NAMES",
+                        help=f"configurations (default: {','.join(DEFAULT_CONFIGS)})")
+    parser.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE)
+    parser.add_argument("--intra-jobs", type=int, default=2)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions, best-of (default: 3)")
+    parser.add_argument("--output", default=".", metavar="DIR",
+                        help="directory receiving BENCH_<rev>.json")
+    parser.add_argument("--baseline", default="benchmarks/baseline.json",
+                        metavar="FILE")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on equivalence break or wall regression "
+                             "vs the baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline file from this run")
+    args = parser.parse_args(argv)
+
+    programs = ([p.strip() for p in args.programs.split(",") if p.strip()]
+                if args.programs else list(WORKLOAD_NAMES))
+    unknown = [p for p in programs if p not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"error: unknown program(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
+    known = standard_configs()
+    unknown = [c for c in config_names if c not in known]
+    if unknown:
+        print(f"error: unknown config(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    document = run_bench(
+        SCALE_ALIASES[args.scale], programs, config_names,
+        args.chunk_size, max(1, args.intra_jobs), max(1, args.repeat),
+    )
+
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{document['rev']}.json"
+    out_path.write_text(json.dumps(document, indent=2) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path}", file=sys.stderr)
+
+    if args.update_baseline:
+        baseline_path = Path(args.baseline)
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json.dumps(baseline_from(document), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"updated baseline {baseline_path}", file=sys.stderr)
+
+    if args.check:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = check_against_baseline(document, baseline)
+        if problems:
+            for problem in problems:
+                print(f"BENCH REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("bench check passed: chunked==monolithic everywhere, "
+              "no wall-clock regression", file=sys.stderr)
+    elif not document["totals"]["all_equivalent"]:
+        # even without --check an equivalence break is a hard failure
+        print("error: chunked and monolithic statistics differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

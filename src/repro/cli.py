@@ -60,6 +60,12 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                          help="experiment scale (full = largest built-in scale)")
     run_all.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes for missing simulation points")
+    run_all.add_argument("--intra-jobs", type=int, default=1, metavar="N",
+                         help="chunk worker processes *within* each point "
+                              "(points then run sequentially)")
+    run_all.add_argument("--chunk-size", type=int, default=0, metavar="I",
+                         help="instructions per simulation chunk (0: default "
+                              "size when --intra-jobs > 1, else monolithic)")
     run_all.add_argument("--cache-dir", default=None, metavar="D",
                          help="persistent on-disk result store directory")
     run_all.add_argument("--store", choices=BACKEND_NAMES, default=None,
@@ -70,6 +76,22 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                          help="comma-separated exhibit subset (default: all)")
     run_all.add_argument("--programs", default=None, metavar="NAMES",
                          help="comma-separated program subset (default: all)")
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate one (program, configuration) point")
+    simulate.add_argument("--program", required=True, metavar="NAME",
+                          help="benchmark program (see `list`)")
+    simulate.add_argument("--config", default="ooo", metavar="NAME",
+                          help="machine configuration name (default: ooo)")
+    simulate.add_argument("--scale", choices=sorted(SCALE_ALIASES),
+                          default="small", help="workload scale")
+    simulate.add_argument("--intra-jobs", type=int, default=1, metavar="N",
+                          help="chunk worker processes (default: 1)")
+    simulate.add_argument("--chunk-size", type=int, default=0, metavar="I",
+                          help="instructions per chunk (0: monolithic unless "
+                               "--intra-jobs > 1)")
+    simulate.add_argument("--format", choices=("text", "json"), default="text",
+                          help="output format (default: text)")
 
     gc = sub.add_parser("gc", help="evict stale/corrupt result-store entries")
     gc.add_argument("--cache-dir", required=True, metavar="D",
@@ -127,12 +149,78 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     traces = TraceStore(Path(args.cache_dir) / TRACE_SUBDIR)
     tkept, tevicted = traces.gc()
     print(f"gc (traces): {tkept} kept, {tevicted} evicted")
+    from repro.parallel.chunkstore import CHUNK_SUBDIR, ChunkStore
+
+    ckept, cevicted = ChunkStore(Path(args.cache_dir) / CHUNK_SUBDIR).gc()
+    print(f"gc (chunks): {ckept} kept, {cevicted} evicted")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.core.config import get_config
+    from repro.core.simulator import run as run_simulation
+    from repro.core.simulator import simulate_point_chunked
+    from repro.parallel import DEFAULT_CHUNK_SIZE
+
+    if args.intra_jobs < 1:
+        print("error: --intra-jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.chunk_size < 0:
+        print("error: --chunk-size must be non-negative", file=sys.stderr)
+        return 2
+    if args.program not in WORKLOAD_NAMES:
+        print(f"error: unknown program {args.program!r}; "
+              f"available: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
+        return 2
+    try:
+        config = get_config(args.config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scale = SCALE_ALIASES[args.scale]
+    chunk_size = args.chunk_size or (
+        DEFAULT_CHUNK_SIZE if args.intra_jobs > 1 else 0)
+    started = time.perf_counter()
+    report = None
+    if chunk_size:
+        result, report = simulate_point_chunked(
+            args.program, scale, config,
+            chunk_size=chunk_size, intra_jobs=args.intra_jobs,
+        )
+    else:
+        result = run_simulation(args.program, config, scale)
+    elapsed = time.perf_counter() - started
+    if args.format == "json":
+        payload = {"result": result.to_dict(), "wall_s": round(elapsed, 4)}
+        if report is not None:
+            payload["chunked"] = {
+                "chunks": report.chunks,
+                "chunk_size": report.chunk_size,
+                "accepted": report.accepted,
+                "replayed": report.replayed,
+                "cache_hits": report.cache_hits,
+                "jobs": report.jobs,
+            }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result)
+        if report is not None:
+            print(report.summary())
+        print(f"wall time: {elapsed:.2f}s")
     return 0
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.intra_jobs < 1:
+        print("error: --intra-jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.chunk_size < 0:
+        print("error: --chunk-size must be non-negative", file=sys.stderr)
         return 2
     try:
         exhibits = get_exhibits(_split(args.exhibits))
@@ -165,6 +253,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         engine = configure_engine(
             cache_dir=args.cache_dir, jobs=args.jobs,
             store=backend if args.cache_dir is not None else args.store,
+            intra_jobs=args.intra_jobs, chunk_size=args.chunk_size,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -189,16 +278,23 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     engine.store.flush()  # persist the (advisory) index in one final merge
 
     if args.format != "text":
-        payload = exhibits_payload(
-            collected, args.scale, programs,
-            engine_summary={
-                "simulated": engine.simulated,
-                "disk_hits": engine.disk_hits,
-                "memory_hits": engine.memory_hits,
-                "jobs": engine.jobs,
-                "store": engine.store.describe(),
-            },
-        )
+        engine_summary = {
+            "simulated": engine.simulated,
+            "disk_hits": engine.disk_hits,
+            "memory_hits": engine.memory_hits,
+            "jobs": engine.jobs,
+            "store": engine.store.describe(),
+        }
+        if engine.chunk_size:
+            engine_summary["chunked"] = {
+                "chunk_size": engine.chunk_size,
+                "intra_jobs": engine.intra_jobs,
+                "accepted": engine.chunks_accepted,
+                "cached": engine.chunk_cache_hits,
+                "replayed": engine.chunks_replayed,
+            }
+        payload = exhibits_payload(collected, args.scale, programs,
+                                   engine_summary=engine_summary)
         print(render_json(payload) if args.format == "json" else render_csv(payload))
 
     # In json/csv mode the human-readable trailer goes to stderr so stdout
@@ -219,6 +315,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "gc":
         return _cmd_gc(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     return _cmd_run_all(args)
 
 

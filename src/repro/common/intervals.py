@@ -9,7 +9,7 @@ statistics (state breakdowns, idle percentages) from the merged intervals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 

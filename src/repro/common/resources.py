@@ -14,7 +14,7 @@ issue slot, not the whole latency.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.common.intervals import BusyTracker
@@ -57,6 +57,21 @@ class GapResource:
 
     def busy_cycles(self) -> int:
         return self.tracker.busy_cycles()
+
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of the reservation and busy state."""
+        return {
+            "busy": [[s, e] for s, e in zip(self._starts, self._ends)],
+            "tracker": self.tracker.to_pairs(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        self._starts = [int(pair[0]) for pair in state["busy"]]
+        self._ends = [int(pair[1]) for pair in state["busy"]]
+        self.tracker = BusyTracker.from_pairs(self.name, state["tracker"])
 
     def _find_start(self, earliest: int, duration: int) -> int:
         starts, ends = self._starts, self._ends
@@ -108,6 +123,20 @@ class PipelinedResource:
         self.operations += 1
         return cycle
 
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of issue-slot occupancy."""
+        return {
+            "slots": sorted([cycle, count] for cycle, count in self._slots.items()),
+            "operations": self.operations,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        self._slots = {int(cycle): int(count) for cycle, count in state["slots"]}
+        self.operations = int(state["operations"])
+
 
 @dataclass
 class InOrderPipe:
@@ -127,3 +156,11 @@ class InOrderPipe:
         exit_time = max(enter_time + self.depth, self.last_exit + 1)
         self.last_exit = exit_time
         return exit_time
+
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        return {"last_exit": self.last_exit}
+
+    def restore(self, state: dict) -> None:
+        self.last_exit = int(state["last_exit"])

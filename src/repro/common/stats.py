@@ -161,6 +161,30 @@ class SimStats:
             return 0.0
         return self.vector_operations / self.vector_instructions
 
+    def absorb_shifted(self, other: "SimStats", shift: int) -> None:
+        """Accumulate a chunk's statistics, with times shifted by ``shift``.
+
+        Used by the chunked simulator (:mod:`repro.parallel`): ``other`` was
+        collected by a worker simulating a trace chunk in a canonical time
+        frame starting at zero; shifting its busy intervals by the chunk's
+        true start anchor and summing every counter reproduces exactly what a
+        monolithic run would have accumulated over the same instructions.
+        """
+        for f in fields(self):
+            if f.name in ("unit_busy", "traffic"):
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name, tracker in other.unit_busy.items():
+            mine = self.unit_busy.setdefault(name, BusyTracker(name))
+            for iv in tracker.merged():
+                mine.add(iv.start + shift, iv.end + shift)
+        for sub in fields(self.traffic):
+            setattr(
+                self.traffic,
+                sub.name,
+                getattr(self.traffic, sub.name) + getattr(other.traffic, sub.name),
+            )
+
     def copy(self) -> "SimStats":
         """Return an independent copy (cheaply; no ``deepcopy``).
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Union
+from typing import Union
 
 from repro.common.errors import CompilationError
 

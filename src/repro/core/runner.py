@@ -61,6 +61,8 @@ from repro.trace.store import TraceStore
 #: environment knobs picked up by the default engine (see :func:`get_engine`)
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 JOBS_ENV = "REPRO_JOBS"
+INTRA_JOBS_ENV = "REPRO_INTRA_JOBS"
+CHUNK_SIZE_ENV = "REPRO_CHUNK_SIZE"
 
 #: subdirectory of the cache dir holding memoised compiled traces
 TRACE_SUBDIR = "traces"
@@ -260,20 +262,44 @@ class ExperimentEngine:
         store: ResultStore | None = None,
         jobs: int = 1,
         trace_store: TraceStore | None = None,
+        intra_jobs: int = 1,
+        chunk_size: int = 0,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if intra_jobs < 1:
+            raise ValueError("intra_jobs must be at least 1")
+        if chunk_size < 0:
+            raise ValueError("chunk_size must be non-negative")
         self.store = store if store is not None else ResultStore()
         self.jobs = jobs
+        #: chunk-level worker processes *within* one simulation point; when
+        #: > 1 (or when a chunk size is forced) points run sequentially and
+        #: the parallelism moves inside each point (see repro.parallel)
+        self.intra_jobs = intra_jobs
+        from repro.parallel import DEFAULT_CHUNK_SIZE
+
+        self.chunk_size = chunk_size or (
+            DEFAULT_CHUNK_SIZE if intra_jobs > 1 else 0
+        )
         if trace_store is None and self.store.cache_dir is not None:
             trace_store = TraceStore(self.store.cache_dir / TRACE_SUBDIR)
         self.trace_store = trace_store
+        self.chunk_store = None
+        if self.chunk_size and self.store.cache_dir is not None:
+            from repro.parallel.chunkstore import CHUNK_SUBDIR, ChunkStore
+
+            self.chunk_store = ChunkStore(self.store.cache_dir / CHUNK_SUBDIR)
         #: (workload, scale) pairs already ensured on disk — without this
         #: memo every exhibit batch would re-validate (fully unpickle) each
         #: trace in the parent, the very cost the store exists to avoid
         self._ensured: set[tuple[str, str]] = set()
         #: points actually simulated (cache misses) over this engine's life
         self.simulated = 0
+        #: chunk-level accounting aggregated over all chunked points
+        self.chunks_accepted = 0
+        self.chunks_replayed = 0
+        self.chunk_cache_hits = 0
 
     # -- execution ----------------------------------------------------------
 
@@ -330,6 +356,8 @@ class ExperimentEngine:
         if not points:
             return []
         self._prewarm_traces(points)
+        if self.chunk_size:
+            return self._execute_chunked(points)
         if self.jobs > 1 and len(points) > 1:
             try:
                 return self._execute_parallel(points)
@@ -344,6 +372,46 @@ class ExperimentEngine:
         return [
             SimulationResult.from_dict(_simulate_point(p, trace_dir)) for p in points
         ]
+
+    def _execute_chunked(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
+        """Intra-workload parallelism: points in order, chunks fanned out.
+
+        One process pool is shared by every point of the batch, so the
+        chunk workers stay warm across the whole grid.  Chunk results are
+        memoised through the chunk store (when a cache dir is configured)
+        under fingerprints derived from each point's own fingerprint.
+        """
+        from repro.core.simulator import simulate_point_chunked
+
+        pool = None
+        if self.intra_jobs > 1 and len(points) > 0:
+            try:
+                pool = ProcessPoolExecutor(max_workers=self.intra_jobs)
+            except OSError:
+                pool = None  # restricted sandbox: chunked-sequential below
+        results: list[SimulationResult] = []
+        # without a pool, speculation runs inline and only at cuts already
+        # proven safe (cost ≈ replaying the chunk), which still feeds the
+        # chunk store; with a pool, "auto" backs off on machines that never
+        # quiesce instead of burning workers
+        speculate = "auto" if pool is not None else "always"
+        try:
+            for point in points:
+                result, report = simulate_point_chunked(
+                    point.workload, point.scale, point.config,
+                    chunk_size=self.chunk_size, intra_jobs=self.intra_jobs,
+                    trace_store=self.trace_store,
+                    chunk_store=self.chunk_store, pool=pool,
+                    speculate=speculate,
+                )
+                self.chunks_accepted += report.accepted
+                self.chunks_replayed += report.replayed
+                self.chunk_cache_hits += report.cache_hits
+                results.append(result)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return results
 
     def _execute_parallel(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
         workers = min(self.jobs, len(points))
@@ -379,6 +447,13 @@ class ExperimentEngine:
             f"{self.memory_hits} memory hits, jobs={self.jobs}, "
             f"store={self.store.describe()}"
         )
+        if self.chunk_size:
+            line += (
+                f", chunked x{self.chunk_size} intra-jobs={self.intra_jobs} "
+                f"({self.chunks_accepted} accepted, "
+                f"{self.chunk_cache_hits} cached, "
+                f"{self.chunks_replayed} replayed)"
+            )
         if self.trace_store is not None:
             line += f", {self.trace_store.summary()}"
         return line
@@ -402,11 +477,19 @@ def get_engine() -> ExperimentEngine:
     global _default_engine
     if _default_engine is None:
         cache_dir = os.environ.get(CACHE_DIR_ENV) or None
-        try:
-            jobs = max(1, int(os.environ.get(JOBS_ENV, "1")))
-        except ValueError:
-            jobs = 1
-        _default_engine = ExperimentEngine(ResultStore(cache_dir), jobs=jobs)
+
+        def _env_int(name: str, default: int = 1, minimum: int = 1) -> int:
+            try:
+                return max(minimum, int(os.environ.get(name, str(default))))
+            except ValueError:
+                return default
+
+        _default_engine = ExperimentEngine(
+            ResultStore(cache_dir),
+            jobs=_env_int(JOBS_ENV),
+            intra_jobs=_env_int(INTRA_JOBS_ENV),
+            chunk_size=_env_int(CHUNK_SIZE_ENV, default=0, minimum=0),
+        )
     return _default_engine
 
 
@@ -414,9 +497,14 @@ def configure_engine(
     cache_dir: str | os.PathLike | None = None,
     jobs: int = 1,
     store: str | StoreBackend | None = None,
+    intra_jobs: int = 1,
+    chunk_size: int = 0,
 ) -> ExperimentEngine:
     """Replace the default engine (used by the CLI and by tests)."""
-    engine = ExperimentEngine(ResultStore(cache_dir, backend=store), jobs=jobs)
+    engine = ExperimentEngine(
+        ResultStore(cache_dir, backend=store), jobs=jobs,
+        intra_jobs=intra_jobs, chunk_size=chunk_size,
+    )
     set_engine(engine)
     return engine
 

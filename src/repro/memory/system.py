@@ -84,6 +84,22 @@ class MemorySystem:
         self.scalar_requests += 1
         return MemoryTiming(start, start + 1, start + 1)
 
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "bus": self.address_bus.snapshot(),
+            "vector_load_requests": self.vector_load_requests,
+            "vector_store_requests": self.vector_store_requests,
+            "scalar_requests": self.scalar_requests,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.address_bus.restore(state["bus"])
+        self.vector_load_requests = int(state["vector_load_requests"])
+        self.vector_store_requests = int(state["vector_store_requests"])
+        self.scalar_requests = int(state["scalar_requests"])
+
     # -- statistics -----------------------------------------------------------
 
     @property

@@ -105,6 +105,35 @@ class BranchPredictor:
         self._ras.pop()
         return True
 
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of the predictor's architectural state.
+
+        ``_dropped_calls`` is write-only bookkeeping (nothing reads it), so
+        it is deliberately not part of the snapshot; ``restore`` resets it.
+        """
+        return {
+            "btb": sorted(
+                [index, entry.tag, entry.counter]
+                for index, entry in self._btb.items()
+            ),
+            "ras": list(self._ras),
+            "predictions": self.predictions,
+            "mispredictions": self.mispredictions,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        self._btb = {
+            int(index): _BTBEntry(tag=int(tag), counter=int(counter))
+            for index, tag, counter in state["btb"]
+        }
+        self._ras = [int(seq) for seq in state["ras"]]
+        self._dropped_calls = set()
+        self.predictions = int(state["predictions"])
+        self.mispredictions = int(state["mispredictions"])
+
     @property
     def misprediction_rate(self) -> float:
         if self.predictions == 0:

@@ -147,9 +147,23 @@ class _OOORun:
     # ------------------------------------------------------------------ driver
 
     def execute(self) -> SimStats:
-        for dyn in self.trace:
+        self.run_slice(self.trace)
+        return self.finalise()
+
+    def run_slice(self, instructions) -> None:
+        """Process ``instructions`` (any iterable of :class:`DynInstr`).
+
+        The machine state simply carries over between calls, so a simulation
+        can be split into resumable segments: ``run_slice`` each segment in
+        order, then :meth:`finalise` once.  The chunked simulator
+        (:mod:`repro.parallel`) also snapshots/restores the state between
+        slices to stitch independently simulated chunks back together.
+        """
+        for dyn in instructions:
             self._process(dyn)
 
+    def finalise(self) -> SimStats:
+        """Derive the final :class:`SimStats` from the accumulated state."""
         self.stats.cycles = max(self.horizon, self.rob.last_commit)
         self.stats.address_port_busy_cycles = self.memory.busy_cycles
         self.stats.unit_busy["FU1"] = self.fu1.tracker
@@ -161,6 +175,55 @@ class _OOORun:
             self.stats.loads_eliminated = self.loadelim.vector_loads_eliminated
             self.stats.scalar_loads_eliminated = self.loadelim.scalar_loads_eliminated
         return self.stats
+
+    # ------------------------------------------------- chunked-simulation state
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of all mutable machine state.
+
+        ``stats`` holds only what accumulates *during* :meth:`run_slice`
+        (instruction counts, traffic, the MEM busy tracker); the fields
+        derived in :meth:`finalise` are recomputed from the restored
+        components, never carried through a snapshot.
+        """
+        state = {
+            "kind": "ooo",
+            "last_rename": self.last_rename,
+            "fetch_resume": self.fetch_resume,
+            "horizon": self.horizon,
+            "rename": self.rename.snapshot(),
+            "rob": self.rob.snapshot(),
+            "queues": self.queues.snapshot(),
+            "predictor": self.predictor.snapshot(),
+            "mempipe": self.mempipe.snapshot(),
+            "memory": self.memory.snapshot(),
+            "fu1": self.fu1.snapshot(),
+            "fu2": self.fu2.snapshot(),
+            "a_unit": self.a_unit.snapshot(),
+            "s_unit": self.s_unit.snapshot(),
+            "loadelim": self.loadelim.snapshot() if self.loadelim is not None else None,
+            "stats": self.stats.to_dict(),
+        }
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        self.last_rename = int(state["last_rename"])
+        self.fetch_resume = int(state["fetch_resume"])
+        self.horizon = int(state["horizon"])
+        self.rename.restore(state["rename"])
+        self.rob.restore(state["rob"])
+        self.queues.restore(state["queues"])
+        self.predictor.restore(state["predictor"])
+        self.mempipe.restore(state["mempipe"])
+        self.memory.restore(state["memory"])
+        self.fu1.restore(state["fu1"])
+        self.fu2.restore(state["fu2"])
+        self.a_unit.restore(state["a_unit"])
+        self.s_unit.restore(state["s_unit"])
+        if self.loadelim is not None:
+            self.loadelim.restore(state["loadelim"])
+        self.stats = SimStats.from_dict(state["stats"])
 
     def _process(self, dyn: DynInstr) -> None:
         queue_kind = route_queue(dyn)

@@ -88,6 +88,34 @@ class MemoryPipeline:
         )
         self._prune()
 
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of the pipeline and the pending window."""
+        return {
+            "pipe": self.pipe.snapshot(),
+            "pending": [
+                [p.seq, p.region_start, p.region_end, bool(p.is_store), p.address_done]
+                for p in self._pending
+            ],
+            "dependence_stalls": self.dependence_stalls,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        self.pipe.restore(state["pipe"])
+        self._pending = [
+            _PendingAccess(
+                seq=int(seq),
+                region_start=int(start),
+                region_end=int(end),
+                is_store=bool(is_store),
+                address_done=int(done),
+            )
+            for seq, start, end, is_store, done in state["pending"]
+        ]
+        self.dependence_stalls = int(state["dependence_stalls"])
+
     def _prune(self) -> None:
         """Drop accesses that can no longer constrain anything new.
 

@@ -16,7 +16,7 @@ instruction can back the whole machine up.
 from __future__ import annotations
 
 import enum
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 
 from repro.common.errors import ConfigurationError
 from repro.isa.opcodes import InstrKind
@@ -98,6 +98,25 @@ class IssueQueue:
     def occupancy(self) -> int:
         return len(self._departures)
 
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot (heap stored sorted, see ReorderBuffer)."""
+        return {
+            "departures": sorted(self._departures),
+            "admissions": self.admissions,
+            "full_stalls": self.full_stalls,
+            "full_stall_cycles": self.full_stall_cycles,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        self._departures = [int(t) for t in state["departures"]]
+        heapify(self._departures)
+        self.admissions = int(state["admissions"])
+        self.full_stalls = int(state["full_stalls"])
+        self.full_stall_cycles = int(state["full_stall_cycles"])
+
 
 class QueueSet:
     """The four queues of the machine."""
@@ -107,6 +126,13 @@ class QueueSet:
 
     def queue_for(self, instr: DynInstr) -> IssueQueue:
         return self.queues[route_queue(instr)]
+
+    def snapshot(self) -> dict:
+        return {kind.value: queue.snapshot() for kind, queue in self.queues.items()}
+
+    def restore(self, state: dict) -> None:
+        for kind, queue in self.queues.items():
+            queue.restore(state[kind.value])
 
     @property
     def total_full_stalls(self) -> int:

@@ -16,7 +16,7 @@ becomes available again (its releasing instruction's commit time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import SimulationError
 from repro.isa.registers import RegClass, Register
@@ -75,13 +75,25 @@ class RegisterFileRenamer:
             phys = self._allocate_initial(register.index)
         return phys
 
+    def _pop_free(self) -> int:
+        """Pop the next free physical register (R10000-style FIFO).
+
+        The free list is kept in release order (releases happen at commit
+        time, which is monotone), so the first entry is also the one that
+        becomes available earliest.  Popping by *position* rather than by
+        availability value keeps the allocation sequence a pure function of
+        the instruction stream — which is what lets the chunked simulator
+        (:mod:`repro.parallel`) predict rename state without timing.
+        """
+        return next(iter(self.free))
+
     def _allocate_initial(self, logical: int) -> PhysReg:
         """Bind a never-written logical register to a physical one (value 0)."""
         if not self.free:
             raise SimulationError(
                 f"no physical {self.cls.name} register available for initial mapping"
             )
-        ident = min(self.free, key=lambda i: self.free[i])
+        ident = self._pop_free()
         del self.free[ident]
         phys = self.registers[ident]
         self.mapping[logical] = phys
@@ -103,7 +115,7 @@ class RegisterFileRenamer:
                 f"free list for {self.cls.name} registers is empty and nothing "
                 "is pending release — increase the physical register count"
             )
-        ident = min(self.free, key=lambda i: self.free[i])
+        ident = self._pop_free()
         available_at = self.free[ident]
         if available_at > earliest:
             # Charge the cycles actually spent waiting for the register,
@@ -137,6 +149,41 @@ class RegisterFileRenamer:
             # keep it live rather than recycling it under an active mapping.
             return
         self.free[phys.ident] = max(at_cycle, self.free.get(phys.ident, 0))
+
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of the full rename state.
+
+        The free list is serialised as an *ordered* pair list: its insertion
+        order is the FIFO allocation order (see :meth:`_pop_free`), so the
+        order is as much a part of the state as the availability times.
+        """
+        return {
+            "mapping": [[logical, phys.ident] for logical, phys in self.mapping.items()],
+            "free": [[ident, avail] for ident, avail in self.free.items()],
+            "regs": [
+                [reg.ident, reg.ready, reg.first_result, bool(reg.from_load)]
+                for reg in self.registers
+            ],
+            "allocation_stalls": self.allocation_stalls,
+            "allocation_stall_cycles": self.allocation_stall_cycles,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        for ident, ready, first_result, from_load in state["regs"]:
+            reg = self.registers[int(ident)]
+            reg.ready = int(ready)
+            reg.first_result = int(first_result)
+            reg.from_load = bool(from_load)
+        self.mapping = {
+            int(logical): self.registers[int(ident)]
+            for logical, ident in state["mapping"]
+        }
+        self.free = {int(ident): int(avail) for ident, avail in state["free"]}
+        self.allocation_stalls = int(state["allocation_stalls"])
+        self.allocation_stall_cycles = int(state["allocation_stall_cycles"])
 
     # -- queries -------------------------------------------------------------
 
@@ -182,6 +229,14 @@ class RenameUnit:
 
     def release(self, register_cls: RegClass, phys: PhysReg | None, at_cycle: int) -> None:
         self.files[register_cls].release(phys, at_cycle)
+
+    def snapshot(self) -> dict:
+        """Per-class snapshots, keyed by register-class value."""
+        return {cls.value: file.snapshot() for cls, file in self.files.items()}
+
+    def restore(self, state: dict) -> None:
+        for cls, file in self.files.items():
+            file.restore(state[cls.value])
 
     @property
     def total_allocation_stalls(self) -> int:

@@ -19,7 +19,7 @@ late commit — when younger stores may finally execute.
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 
 from repro.common.errors import ConfigurationError
 
@@ -82,3 +82,33 @@ class ReorderBuffer:
     @property
     def occupancy(self) -> int:
         return len(self._occupancy)
+
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot.
+
+        The occupancy heap is stored sorted: :func:`heapq.heappop` only ever
+        observes the minimum, so sorting canonicalises the internal layout
+        without changing behaviour.
+        """
+        return {
+            "occupancy": sorted(self._occupancy),
+            "recent": list(self._recent_commits),
+            "last_commit": self.last_commit,
+            "allocation_stalls": self.allocation_stalls,
+            "allocation_stall_cycles": self.allocation_stall_cycles,
+            "committed": self.committed,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        self._occupancy = [int(t) for t in state["occupancy"]]
+        heapify(self._occupancy)
+        self._recent_commits = deque(
+            (int(t) for t in state["recent"]), maxlen=self.commit_width
+        )
+        self.last_commit = int(state["last_commit"])
+        self.allocation_stalls = int(state["allocation_stalls"])
+        self.allocation_stall_cycles = int(state["allocation_stall_cycles"])
+        self.committed = int(state["committed"])

@@ -1,0 +1,26 @@
+"""Intra-workload chunked simulation.
+
+PR 1/2 parallelised the evaluation *across* grid points; this subsystem
+parallelises *within* one (workload, configuration) point.  A compiled
+:class:`~repro.trace.records.Trace` is partitioned into dependency-aware
+chunks (:mod:`repro.parallel.scout`), each chunk is simulated by a worker in
+a canonical time frame starting from a predicted boundary state, and the
+per-chunk results are stitched back deterministically
+(:mod:`repro.parallel.driver`), with an **exact-replay fallback** — the
+chunk is re-simulated inline, seeded with the predecessor's true boundary
+state — whenever a cut cannot be proven safe.  Either way the final
+:class:`~repro.common.stats.SimStats` is bit-identical to a monolithic run;
+see :mod:`repro.parallel.boundary` for the safety argument.
+
+Speculative chunk results are memoised on disk under derived fingerprints
+(:mod:`repro.parallel.chunkstore`) next to the experiment engine's result
+store, so interrupted or repeated sweeps resume instead of re-simulating.
+"""
+
+from repro.parallel.driver import (  # noqa: F401
+    DEFAULT_CHUNK_SIZE,
+    ChunkedReport,
+    ChunkedSimulation,
+    simulate_trace_chunked,
+)
+from repro.parallel.chunkstore import ChunkStore  # noqa: F401

@@ -1,0 +1,137 @@
+"""On-disk memoisation of speculative chunk results.
+
+Chunk results are keyed by a fingerprint *derived* from the simulation
+point's own fingerprint (see :meth:`ExperimentPoint.fingerprint`): the
+point fingerprint already pins workload, scale and the full machine
+parameters, and the chunk key extends it with the chunk's trace range, the
+partitioning chunk size and the digest of the predicted entry boundary.  A
+cached entry is therefore exactly as trustworthy as the speculation it
+memoises — the driver still verifies quiescence and the entry digest
+against the live machine before merging it.
+
+Entries live under ``<cache-dir>/chunks/<key[:2]>/<key>.json``, next to the
+result store's shards, written atomically with unique temp names (the same
+crash-safe pattern as the trace store).  ``gc()`` drops version-stale
+entries and leftover temp files; ``python -m repro.cli gc`` calls it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+
+from repro.parallel.boundary import BOUNDARY_VERSION
+
+#: chunk-entry schema version (also folded into every derived fingerprint)
+CHUNK_STORE_VERSION = 1
+
+#: subdirectory of the experiment cache dir holding chunk entries
+CHUNK_SUBDIR = "chunks"
+
+
+def chunk_fingerprint(
+    point_fingerprint: str,
+    chunk_size: int,
+    index: int,
+    start: int,
+    stop: int,
+    entry_digest: str,
+) -> str:
+    """Derived fingerprint identifying one speculative chunk result."""
+    blob = json.dumps(
+        {
+            "point": point_fingerprint,
+            "chunk_size": chunk_size,
+            "index": index,
+            "range": [start, stop],
+            "entry": entry_digest,
+            "version": [CHUNK_STORE_VERSION, BOUNDARY_VERSION],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _discard(path: Path) -> None:
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:
+        pass
+
+
+class ChunkStore:
+    """Sharded JSON cache of worker exit states, keyed by chunk fingerprint."""
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.stored = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the memoised worker exit state, or ``None``."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            _discard(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CHUNK_STORE_VERSION
+            or not isinstance(payload.get("state"), dict)
+        ):
+            _discard(path)
+            return None
+        self.hits += 1
+        return payload["state"]
+
+    def put(self, key: str, state: dict, info: dict | None = None) -> None:
+        """Persist a worker exit state atomically under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CHUNK_STORE_VERSION,
+            "key": info or {},
+            "state": state,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stored += 1
+
+    def gc(self) -> tuple[int, int]:
+        """Drop undecodable/version-stale entries; returns ``(kept, evicted)``."""
+        if not self.cache_dir.is_dir():
+            return (0, 0)
+        kept = 0
+        evicted = 0
+        for path in self.cache_dir.glob("??/*.json"):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                payload = None
+            if (
+                isinstance(payload, dict)
+                and payload.get("version") == CHUNK_STORE_VERSION
+                and isinstance(payload.get("state"), dict)
+            ):
+                kept += 1
+            else:
+                _discard(path)
+                evicted += 1
+        for path in self.cache_dir.glob("??/.*.tmp"):
+            _discard(path)
+            evicted += 1
+        return kept, evicted
+
+    def summary(self) -> str:
+        return f"chunks: {self.hits} cached, {self.stored} stored"

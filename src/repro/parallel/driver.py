@@ -1,0 +1,386 @@
+"""The chunked-simulation driver: speculate in parallel, stitch in order.
+
+One :class:`ChunkedSimulation` simulates a single (trace, configuration)
+point.  The flow:
+
+1. :func:`repro.parallel.scout.plan_chunks` partitions the trace at
+   dependency-aware cut points and predicts each chunk's structural entry
+   boundary.
+2. Every chunk is dispatched to a ``ProcessPoolExecutor`` worker (or, with
+   ``jobs=1`` and ``speculate="always"``, computed inline on demand), which
+   simulates it in the canonical time frame starting from the predicted
+   boundary and returns its full exit snapshot.
+3. The stitcher walks the chunks in order over a live *parent* machine.  A
+   speculative result is merged — shifted by the cut's anchor Δ — only when
+   the parent is provably at a safe cut (quiescent state whose structural
+   digest matches the prediction; see :mod:`repro.parallel.boundary`).
+   Otherwise the chunk takes the **exact-replay fallback**: the parent
+   machine, which *is* the predecessor's true boundary state, simply
+   simulates the chunk inline, exactly as a monolithic run would.
+
+Either path yields bit-identical :class:`~repro.common.stats.SimStats`; the
+speculation only decides how much of the work ran in parallel.  An adaptive
+backoff stops feeding the pool when the first chunks all miss (the deeply
+pipelined OOOVA rarely quiesces at a cut, whereas the in-order reference
+machine does at a large fraction of instruction boundaries), so a
+speculation-hostile configuration degrades to a plain sequential run plus a
+planning pass rather than burning a pool per chunk for nothing.
+
+Accepted worker snapshots are memoised through an optional
+:class:`~repro.parallel.chunkstore.ChunkStore` under fingerprints derived
+from the experiment point, so re-runs (after a crash, a cache eviction of
+the final result, or a schema bump elsewhere) skip straight to stitching.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.params import OOOParams, ReferenceParams
+from repro.common.stats import SimStats
+from repro.ooo.machine import _OOORun
+from repro.parallel.boundary import (
+    anchor_of,
+    apply_chunk,
+    apply_structural,
+    quiescent,
+    structural_digest,
+    structural_of,
+)
+from repro.parallel.chunkstore import ChunkStore, chunk_fingerprint
+from repro.parallel.scout import ChunkPlan, iter_chunk_plans, plan_cut_points
+from repro.refsim.machine import _ReferenceRun
+from repro.trace.records import Trace
+
+#: default partition size (instructions per chunk) for the CLI and engine
+DEFAULT_CHUNK_SIZE = 1024
+
+#: consecutive replays, with no accept yet, before speculation is abandoned
+AUTO_BACKOFF_AFTER = 2
+
+#: speculation policies
+SPECULATE_MODES = ("auto", "always", "never")
+
+
+def _make_run(params, name: str = "", instructions=None):
+    """Build the right machine-run object for ``params``."""
+    trace = Trace(name=name, instructions=list(instructions or []))
+    if isinstance(params, ReferenceParams):
+        return _ReferenceRun(params, trace)
+    if isinstance(params, OOOParams):
+        return _OOORun(params, trace)
+    raise TypeError(f"unsupported machine parameters: {type(params)!r}")
+
+
+def _simulate_chunk(task: tuple) -> dict:
+    """Worker entry point: simulate one chunk in the canonical frame.
+
+    Top-level function so the process pool can pickle it.  ``task`` is
+    ``(params, trace_name, instructions, entry_structural)``; the return
+    value is the worker machine's full exit snapshot.
+    """
+    params, name, instructions, entry_structural = task
+    run = _make_run(params, name)
+    apply_structural(run, entry_structural)
+    run.run_slice(instructions)
+    return run.snapshot()
+
+
+@dataclass
+class ChunkedReport:
+    """What the chunked run actually did (diagnostics, bench, tests)."""
+
+    chunks: int = 0
+    accepted: int = 0
+    replayed: int = 0
+    cache_hits: int = 0
+    speculated: int = 0
+    chunk_size: int = 0
+    jobs: int = 1
+    #: chunk index after which auto-backoff stopped speculating (-1: never)
+    backoff_at: int = -1
+    #: cut indices that were quiescent when reached (accepted or cache-fed)
+    safe_cuts: list[int] = field(default_factory=list)
+
+    def summary(self) -> str:
+        line = (
+            f"chunked: {self.chunks} chunks x{self.chunk_size}, "
+            f"{self.accepted} accepted ({self.cache_hits} cached), "
+            f"{self.replayed} replayed, jobs={self.jobs}"
+        )
+        if self.backoff_at >= 0:
+            line += f", speculation stopped after chunk {self.backoff_at}"
+        return line
+
+
+class ChunkedSimulation:
+    """Chunk-parallel simulation of one trace on one machine configuration."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        params: OOOParams | ReferenceParams,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        jobs: int = 1,
+        speculate: str = "auto",
+        chunk_store: ChunkStore | None = None,
+        point_fingerprint: str | None = None,
+        pool: ProcessPoolExecutor | None = None,
+    ) -> None:
+        if len(trace) == 0:
+            raise SimulationError("cannot simulate an empty trace")
+        if chunk_size < 1:
+            raise SimulationError("chunk size must be at least 1")
+        if speculate not in SPECULATE_MODES:
+            raise SimulationError(
+                f"unknown speculation mode {speculate!r}; "
+                f"available: {', '.join(SPECULATE_MODES)}"
+            )
+        self.trace = trace
+        self.params = params
+        self.chunk_size = chunk_size
+        self.jobs = max(1, jobs)
+        self.speculate = speculate
+        self.chunk_store = chunk_store
+        self.point_fingerprint = point_fingerprint
+        self._external_pool = pool
+        self.report = ChunkedReport(chunk_size=chunk_size, jobs=self.jobs)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _chunk_key(self, plan: ChunkPlan) -> str | None:
+        """Derived store fingerprint for a chunk (None: caching disabled)."""
+        if self.chunk_store is None or self.point_fingerprint is None:
+            return None
+        return chunk_fingerprint(
+            self.point_fingerprint, self.chunk_size, plan.index,
+            plan.start, plan.stop, plan.entry_digest,
+        )
+
+    def _instructions(self, plan: ChunkPlan) -> list:
+        return self.trace.instructions[plan.start:plan.stop]
+
+    def _task(self, plan: ChunkPlan) -> tuple:
+        return (self.params, self.trace.name, self._instructions(plan),
+                plan.entry_structural)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> SimStats:
+        """Simulate the whole trace; bit-identical to a monolithic run."""
+        cuts = plan_cut_points(self.trace, self.chunk_size)
+        parent = _make_run(self.params, self.trace.name)
+        if len(cuts) < 2:
+            self.report.chunks = 1
+            self.report.replayed = 1
+            parent.run_slice(self.trace)
+            return parent.finalise()
+
+        self.report.chunks = len(cuts)
+        self._cuts = cuts
+        self._plan_iter = iter_chunk_plans(self.trace, self.params, cuts)
+        self._plans: list[ChunkPlan] = []
+        self._plan_failed = False
+        speculating = self.speculate != "never"
+        pool = self._external_pool
+        own_pool = False
+        self._futures: dict[int, Future] = {}
+        self._submitted = 0
+        self._pool_ok = True
+        #: chunk states already read from the store by the submit path,
+        #: consumed by the stitcher (avoids parsing each entry twice)
+        self._prefetched: dict[int, dict] = {}
+        if speculating and self.jobs > 1 and pool is None:
+            try:
+                pool = ProcessPoolExecutor(max_workers=self.jobs)
+                own_pool = True
+            except OSError:
+                pool = None  # restricted sandbox: inline/auto path below
+        try:
+            self._stitch(parent, speculating, pool)
+        finally:
+            for future in self._futures.values():
+                future.cancel()
+            if own_pool and pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return parent.finalise()
+
+    def _plan(self, index: int) -> ChunkPlan | None:
+        """Materialise plans lazily up to ``index`` (None: scout gave up).
+
+        A scout failure is sticky: the generator is dead after raising, so
+        retrying it would surface a bare ``StopIteration`` — every later
+        query for an unmaterialised plan must keep answering ``None``.
+        """
+        if index < len(self._plans):
+            return self._plans[index]
+        if self._plan_failed:
+            return None
+        try:
+            while len(self._plans) <= index:
+                self._plans.append(next(self._plan_iter))
+        except (SimulationError, StopIteration):
+            # The scout hit a condition only the timing model can resolve;
+            # speculation is off the table, replay handles everything.
+            self._plan_failed = True
+            return None
+        return self._plans[index]
+
+    def _submit_wave(self, pool, upto: int) -> None:
+        """Keep a bounded window of chunk tasks in flight on the pool."""
+        limit = min(upto, len(self._cuts))
+        while self._pool_ok and self._submitted < limit:
+            plan = self._plan(self._submitted)
+            if plan is None:
+                return
+            self._submitted += 1
+            if self.chunk_store is not None:
+                key = self._chunk_key(plan)
+                if key is not None:
+                    state = self.chunk_store.get(key)
+                    if state is not None:
+                        # hand the parsed state straight to the stitcher —
+                        # no worker needed, and no second read+parse
+                        self._prefetched[plan.index] = state
+                        continue
+            try:
+                self._futures[plan.index] = pool.submit(
+                    _simulate_chunk, self._task(plan))
+            except (OSError, BrokenProcessPool):
+                # the pool died (worker OOM-killed, sandbox limits): stop
+                # feeding it and let every unresolved chunk take the
+                # exact-replay fallback
+                self._pool_ok = False
+                return
+            self.report.speculated += 1
+
+    def _stitch(self, parent, speculating, pool) -> None:
+        """Walk chunks in order, merging accepted results, replaying the rest."""
+        misses = 0
+        nontrivial_accepts = 0  # chunk 0 accepts by construction; ignore it
+        total = len(self._cuts)
+        for index in range(total):
+            if not speculating:
+                # replay the whole remaining tail in one sequential pass —
+                # no plans, snapshots or digests needed past this point
+                parent.run_slice(
+                    self.trace.instructions[self._cuts[index]:])
+                self.report.replayed += total - index
+                return
+            if pool is not None:
+                self._submit_wave(pool, index + 2 * self.jobs)
+            plan = self._plan(index)
+            if plan is None:
+                speculating = False
+                parent.run_slice(
+                    self.trace.instructions[self._cuts[index]:])
+                self.report.replayed += total - index
+                return
+            worker_state = None
+            if quiescent(parent):
+                digest = structural_digest(structural_of(parent))
+                if digest == plan.entry_digest:
+                    self.report.safe_cuts.append(plan.index)
+                    worker_state = self._obtain(plan, self._futures, pool)
+            if worker_state is not None:
+                apply_chunk(parent, worker_state, anchor_of(parent))
+                self.report.accepted += 1
+                if plan.index > 0:
+                    nontrivial_accepts += 1
+                misses = 0
+                continue
+            future = self._futures.pop(plan.index, None)
+            if future is not None:
+                future.cancel()
+            parent.run_slice(self._instructions(plan))
+            self.report.replayed += 1
+            misses += 1
+            if (
+                self.speculate == "auto"
+                and nontrivial_accepts == 0
+                and misses >= AUTO_BACKOFF_AFTER
+            ):
+                # This machine/trace pair clearly does not quiesce at cuts;
+                # stop wasting workers and run the remainder sequentially.
+                speculating = False
+                self.report.backoff_at = plan.index
+                for pending in self._futures.values():
+                    pending.cancel()
+                self._futures.clear()
+
+    def _obtain(self, plan: ChunkPlan, futures, pool) -> dict | None:
+        """Produce the worker exit state for an acceptable chunk, if possible."""
+        prefetched = self._prefetched.pop(plan.index, None)
+        if prefetched is not None:
+            self.report.cache_hits += 1
+            return prefetched
+        key = self._chunk_key(plan)
+        if key is not None and plan.index >= self._submitted:
+            # not reached by the submit path (jobs=1, or the pool died):
+            # consult the store directly
+            cached = self.chunk_store.get(key)
+            if cached is not None:
+                self.report.cache_hits += 1
+                return cached
+        state: dict | None = None
+        future = futures.pop(plan.index, None)
+        if future is not None:
+            try:
+                state = future.result()
+            except BrokenProcessPool:
+                # lost the pool mid-run: fall back to replaying from here on
+                self._pool_ok = False
+                futures.clear()
+                return None
+        elif pool is None and self.speculate == "always":
+            # inline speculation (tests, jobs=1): compute only on demand,
+            # i.e. only for cuts already proven safe
+            state = _simulate_chunk(self._task(plan))
+            self.report.speculated += 1
+        if state is not None and key is not None:
+            self.chunk_store.put(
+                key, state,
+                info={
+                    "point": self.point_fingerprint,
+                    "chunk_size": self.chunk_size,
+                    "index": plan.index,
+                    "range": [plan.start, plan.stop],
+                    "entry": plan.entry_digest,
+                },
+            )
+        return state
+
+
+def simulate_trace_chunked(
+    trace: Trace,
+    config,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    jobs: int = 1,
+    speculate: str = "auto",
+    chunk_store: ChunkStore | None = None,
+    point_fingerprint: str | None = None,
+    pool: ProcessPoolExecutor | None = None,
+):
+    """Chunked counterpart of :func:`repro.core.simulator.simulate_trace`.
+
+    Returns ``(SimulationResult, ChunkedReport)``; the result is
+    bit-identical to the monolithic one.
+    """
+    from repro.core.results import SimulationResult
+
+    sim = ChunkedSimulation(
+        trace, config.params, chunk_size=chunk_size, jobs=jobs,
+        speculate=speculate, chunk_store=chunk_store,
+        point_fingerprint=point_fingerprint, pool=pool,
+    )
+    stats = sim.run()
+    result = SimulationResult(
+        workload=trace.name,
+        config_name=config.name,
+        params=config.params,
+        stats=stats,
+    )
+    return result, sim.report

@@ -1,0 +1,246 @@
+"""Structural scout: predict chunk-entry boundary state without timing.
+
+The OOOVA's rename maps, free-list order, branch-predictor contents and
+load-elimination tag tables evolve as a pure function of the instruction
+stream: allocation pops the free list in FIFO order, releases happen in
+program order, predictor updates and tag matches read only trace fields.
+The scout replays exactly the structural side effects of
+:meth:`repro.ooo.machine._OOORun._process` — driving *real*
+:class:`RenameUnit` / :class:`BranchPredictor` /
+:class:`LoadEliminationUnit` instances, in the same call order — which is
+cheap (no resources, queues or interval bookkeeping) and lets every chunk
+worker start from its predicted entry state before any timing is known.
+
+A scout divergence (should the structural state ever stop being
+stream-determined) is caught at stitch time: acceptance compares the digest
+of the *true* machine's structural projection against the scout's
+prediction, and a mismatch simply routes the chunk to the exact-replay
+fallback.  The scout can therefore never corrupt results, only lose
+speculation opportunities.
+
+The partitioner below also chooses the cut points.  Cuts land every
+``chunk_size`` instructions but snap forward (within a bounded slack) to a
+spot where no memory instruction shortly before the cut overlaps the region
+of one shortly after it — a cut in the middle of an address-range
+dependence chain is the least likely place for the pending-writeback state
+to have drained into a summarisable boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import LoadElimination, OOOParams, ReferenceParams
+from repro.isa.opcodes import InstrKind
+from repro.isa.registers import RegClass
+from repro.ooo.btb import BranchPredictor
+from repro.ooo.loadelim import LoadEliminationUnit
+from repro.ooo.rename import RenameUnit
+from repro.parallel.boundary import ooo_structural, structural_digest
+from repro.trace.records import DynInstr, Trace
+
+#: how far past the nominal cut index the partitioner may slide a cut
+CUT_SLACK_FRACTION = 4
+
+#: hard cap on that slide (dependence scanning is O(slack · window²))
+CUT_SLACK_MAX = 64
+
+#: memory instructions inspected either side of a candidate cut
+DEPENDENCE_WINDOW = 8
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """One planned chunk: trace range plus the predicted entry boundary."""
+
+    index: int
+    start: int
+    stop: int
+    #: predicted structural entry state (None for the reference machine,
+    #: whose boundary has no structural component)
+    entry_structural: dict | None
+    #: digest of the predicted entry state, compared against the true
+    #: machine at stitch time
+    entry_digest: str
+
+
+class StructuralScout:
+    """Replays the stream-determined state transitions of the OOOVA."""
+
+    def __init__(self, params: OOOParams) -> None:
+        self.rename = RenameUnit(
+            params.num_phys_aregs,
+            params.num_phys_sregs,
+            params.num_phys_vregs,
+            params.num_phys_maskregs,
+        )
+        self.predictor = BranchPredictor(params.btb_entries, params.ras_depth)
+        self.sle = params.load_elimination in (
+            LoadElimination.SLE, LoadElimination.SLE_VLE)
+        self.vle = params.load_elimination is LoadElimination.SLE_VLE
+        self.loadelim = LoadEliminationUnit() if self.sle else None
+
+    def structural(self) -> dict:
+        return ooo_structural(self.rename, self.predictor, self.loadelim)
+
+    def _tag_table_for(self, cls: RegClass):
+        if self.loadelim is None:
+            return None
+        if cls is RegClass.V:
+            return self.loadelim.vector_tags
+        if cls is RegClass.A:
+            return self.loadelim.a_tags
+        if cls is RegClass.S:
+            return self.loadelim.s_tags
+        return None
+
+    def _invalidate_tag(self, cls: RegClass, phys) -> None:
+        table = self._tag_table_for(cls)
+        if table is not None:
+            table.invalidate(phys.ident)
+
+    def step(self, dyn: DynInstr) -> None:
+        """Mirror the structural side effects of ``_OOORun._process``.
+
+        Call order matters and is kept identical to the timing simulator:
+        sources are read (lazily binding initial mappings) before the
+        destination is renamed, and old mappings are released afterwards in
+        the same order the timing model releases them at commit.
+        """
+        kind = dyn.kind
+        released: list[tuple[RegClass, object]] = []
+        if kind is InstrKind.BRANCH:
+            for src in dyn.srcs:
+                self.rename.source(src)
+            self.predictor.predict_and_update(dyn)
+        elif kind in (InstrKind.VECTOR_LOAD, InstrKind.VECTOR_STORE,
+                      InstrKind.SCALAR_LOAD, InstrKind.SCALAR_STORE):
+            for src in dyn.srcs:
+                self.rename.source(src)
+            if dyn.is_load:
+                released = self._step_load(dyn)
+            else:
+                self._step_store(dyn)
+        else:
+            # scalar ALU, vector ALU and vector control all follow the same
+            # structural pattern: read sources, rename the destination.
+            for src in dyn.srcs:
+                self.rename.source(src)
+            if dyn.dest is not None:
+                result = self.rename.rename_destination(dyn.dest, 0)
+                released.append((dyn.dest.cls, result.previous))
+                self._invalidate_tag(dyn.dest.cls, result.phys)
+        for cls, phys in released:
+            self.rename.release(cls, phys, 0)
+
+    def _step_load(self, dyn: DynInstr) -> list[tuple[RegClass, object]]:
+        dest_cls = dyn.dest.cls
+        table = self._tag_table_for(dest_cls)
+        matched = None
+        if table is not None and (
+            (dyn.is_vector and self.vle) or (not dyn.is_vector and self.sle)
+        ):
+            matched = self.loadelim.try_eliminate(dyn, table)
+        if matched is not None and dyn.is_vector:
+            file = self.rename.file(RegClass.V)
+            previous = file.remap(dyn.dest, file.registers[matched])
+            self.loadelim.vector_loads_eliminated += 1
+            return [(RegClass.V, previous)]
+        result = self.rename.rename_destination(dyn.dest, 0)
+        if matched is not None:
+            # scalar load elimination: register-to-register copy, tag copied
+            self.loadelim.scalar_loads_eliminated += 1
+            table.set_tag(result.phys.ident, table.get(matched))
+        elif table is not None:
+            self.loadelim.load_executed(dyn, result.phys.ident, table)
+        return [(dest_cls, result.previous)]
+
+    def _step_store(self, dyn: DynInstr) -> None:
+        value_src = dyn.srcs[0]
+        table = self._tag_table_for(value_src.cls)
+        if self.loadelim is not None and table is not None:
+            # already bound by the source reads above; source() just looks up
+            value_phys = self.rename.source(value_src)
+            self.loadelim.store_executed(dyn, value_phys.ident, table)
+
+
+def _memory_footprint(trace: Trace) -> tuple[list[int], list[tuple]]:
+    """Precompute ``(indices, (start, end, is_store))`` of all memory accesses.
+
+    Plain tuples keep the per-candidate dependence scan free of dataclass
+    attribute chains — the partitioner probes many candidates per cut.
+    """
+    indices: list[int] = []
+    regions: list[tuple] = []
+    for idx, dyn in enumerate(trace):
+        if dyn.is_memory and dyn.region_start is not None:
+            indices.append(idx)
+            regions.append((dyn.region_start, dyn.region_end, dyn.is_store))
+    return indices, regions
+
+
+def _dependence_clean(indices, regions, cut: int) -> bool:
+    """True when no memory-region dependence straddles ``cut`` nearby."""
+    from bisect import bisect_left
+
+    pos = bisect_left(indices, cut)
+    before = regions[max(0, pos - DEPENDENCE_WINDOW):pos]
+    if not before:
+        return True
+    for start, end, is_store in regions[pos:pos + DEPENDENCE_WINDOW]:
+        for old_start, old_end, old_is_store in before:
+            if (is_store or old_is_store) and old_start < end and start < old_end:
+                return False
+    return True
+
+
+def plan_cut_points(trace: Trace, chunk_size: int) -> list[int]:
+    """Chunk start indices: nominal grid, snapped to dependence-clean spots."""
+    cuts = [0]
+    indices, regions = _memory_footprint(trace)
+    slack = max(1, min(chunk_size // CUT_SLACK_FRACTION, CUT_SLACK_MAX))
+    target = chunk_size
+    while target < len(trace):
+        cut = target
+        for candidate in range(target, min(target + slack, len(trace))):
+            if _dependence_clean(indices, regions, candidate):
+                cut = candidate
+                break
+        cuts.append(cut)
+        target = cut + chunk_size
+    return cuts
+
+
+def iter_chunk_plans(trace: Trace, params, cuts: list[int]):
+    """Yield :class:`ChunkPlan` objects lazily, one per chunk.
+
+    The OOOVA scout only advances as far as plans are actually consumed —
+    when the driver's adaptive backoff stops speculating after the first
+    few chunks, the (trace-length-proportional) structural pre-pass cost is
+    bounded by those few chunks instead of the whole trace.
+    """
+    bounds = list(zip(cuts, cuts[1:] + [len(trace)]))
+    if isinstance(params, ReferenceParams):
+        # the reference machine's boundary is purely timing; its canonical
+        # quiescent form is the same (empty) structural state at every cut
+        digest = structural_digest(None)
+        for index, (start, stop) in enumerate(bounds):
+            yield ChunkPlan(index, start, stop, None, digest)
+        return
+    scout = StructuralScout(params)
+    position = 0
+    for index, (start, stop) in enumerate(bounds):
+        while position < start:
+            scout.step(trace[position])
+            position += 1
+        structural = scout.structural()
+        yield ChunkPlan(index, start, stop, structural,
+                        structural_digest(structural))
+
+
+def plan_chunks(
+    trace: Trace, params: OOOParams | ReferenceParams, chunk_size: int
+) -> list[ChunkPlan]:
+    """Partition ``trace`` and predict every chunk's entry boundary."""
+    return list(iter_chunk_plans(trace, params,
+                                 plan_cut_points(trace, chunk_size)))

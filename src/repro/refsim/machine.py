@@ -21,7 +21,7 @@ behaviour — and the memory-port idle time it creates — is what Figures 3 and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import SimulationError
 from repro.common.params import ReferenceParams
@@ -125,7 +125,16 @@ class _ReferenceRun:
     # -- main loop ------------------------------------------------------------
 
     def execute(self) -> SimStats:
-        for dyn in self.trace:
+        self.run_slice(self.trace)
+        return self.finalise()
+
+    def run_slice(self, instructions) -> None:
+        """Process ``instructions`` (any iterable of :class:`DynInstr`).
+
+        State carries over between calls; see the identically named method of
+        the OOOVA run for how the chunked simulator uses this.
+        """
+        for dyn in instructions:
             kind = dyn.kind
             if kind is InstrKind.VECTOR_ALU:
                 self._run_vector_compute(dyn)
@@ -138,9 +147,52 @@ class _ReferenceRun:
             else:
                 self._run_scalar(dyn)
 
+    def finalise(self) -> SimStats:
+        """Derive the final :class:`SimStats` from the accumulated state."""
         self.stats.cycles = self.horizon
         self.stats.address_port_busy_cycles = self.memory.busy_cycles
         return self.stats
+
+    # -- chunked-simulation state (see repro.parallel) ------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of all mutable machine state."""
+        return {
+            "kind": "ref",
+            "issue_ready": self.issue_ready,
+            "horizon": self.horizon,
+            "regs": [
+                [reg.cls.value, reg.index, st.ready, st.first_result,
+                 bool(st.from_load), st.read_until]
+                for reg, st in self.regs.items()
+            ],
+            "units": {
+                unit.name: unit.free_at
+                for unit in (self.fu1, self.fu2, self.mem_unit)
+            },
+            "memory": self.memory.snapshot(),
+            "regfile": self.regfile.snapshot(),
+            "stats": self.stats.to_dict(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        self.issue_ready = int(state["issue_ready"])
+        self.horizon = int(state["horizon"])
+        self.regs = {
+            Register(RegClass(cls), int(index)): _RegState(
+                ready=int(ready),
+                first_result=int(first_result),
+                from_load=bool(from_load),
+                read_until=int(read_until),
+            )
+            for cls, index, ready, first_result, from_load, read_until in state["regs"]
+        }
+        for unit in (self.fu1, self.fu2, self.mem_unit):
+            unit.free_at = int(state["units"][unit.name])
+        self.memory.restore(state["memory"])
+        self.regfile.restore(state["regfile"])
+        self.stats = SimStats.from_dict(state["stats"])
 
     # -- instruction classes ----------------------------------------------------
 

@@ -39,6 +39,26 @@ class BankedVectorRegisterFile:
         self.read_conflict_delay = 0
         self.write_conflict_delay = 0
 
+    # -- chunked-simulation state (see repro.parallel) ----------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "read": [[port.snapshot() for port in bank] for bank in self._read_ports],
+            "write": [[port.snapshot() for port in bank] for bank in self._write_ports],
+            "read_conflict_delay": self.read_conflict_delay,
+            "write_conflict_delay": self.write_conflict_delay,
+        }
+
+    def restore(self, state: dict) -> None:
+        for bank, bank_state in zip(self._read_ports, state["read"]):
+            for port, port_state in zip(bank, bank_state):
+                port.restore(port_state)
+        for bank, bank_state in zip(self._write_ports, state["write"]):
+            for port, port_state in zip(bank, bank_state):
+                port.restore(port_state)
+        self.read_conflict_delay = int(state["read_conflict_delay"])
+        self.write_conflict_delay = int(state["write_conflict_delay"])
+
     def bank_of(self, register: Register) -> int:
         if register.cls is not RegClass.V:
             raise ValueError(f"{register} is not a vector register")

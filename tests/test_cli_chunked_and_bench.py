@@ -1,0 +1,131 @@
+"""CLI surface of the chunked simulator and the repro.bench harness."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main as cli_main
+from repro.core.runner import set_engine
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_engine():
+    set_engine(None)
+    yield
+    set_engine(None)
+
+
+class TestSimulateCommand:
+    def test_simulate_monolithic_text(self, capsys):
+        assert cli_main(["simulate", "--program", "nasa7",
+                         "--config", "reference"]) == 0
+        out = capsys.readouterr().out
+        assert "nasa7 on reference" in out
+        assert "wall time" in out
+
+    def test_simulate_chunked_json_matches_monolithic(self, capsys):
+        assert cli_main(["simulate", "--program", "nasa7", "--config", "ooo",
+                         "--format", "json"]) == 0
+        mono = json.loads(capsys.readouterr().out)
+        assert cli_main(["simulate", "--program", "nasa7", "--config", "ooo",
+                         "--chunk-size", "300", "--format", "json"]) == 0
+        chunked = json.loads(capsys.readouterr().out)
+        assert chunked["result"]["stats"] == mono["result"]["stats"]
+        assert chunked["chunked"]["chunks"] >= 1
+        assert (chunked["chunked"]["accepted"] + chunked["chunked"]["replayed"]
+                == chunked["chunked"]["chunks"])
+
+    def test_simulate_rejects_unknown_program(self, capsys):
+        assert cli_main(["simulate", "--program", "nope"]) == 2
+        assert "unknown program" in capsys.readouterr().err
+
+    def test_simulate_rejects_negative_chunk_size(self, capsys):
+        assert cli_main(["simulate", "--program", "nasa7",
+                         "--chunk-size", "-5"]) == 2
+        assert "--chunk-size" in capsys.readouterr().err
+
+    def test_simulate_rejects_unknown_config(self, capsys):
+        assert cli_main(["simulate", "--program", "nasa7",
+                         "--config", "warp-drive"]) == 2
+        assert "unknown configuration" in capsys.readouterr().err
+
+
+class TestRunAllChunked:
+    def test_intra_jobs_run_all_byte_identical_exhibits(self, capsys):
+        args = ["run-all", "--scale", "small", "--exhibits", "table2",
+                "--programs", "nasa7,su2cor", "--format", "json"]
+        assert cli_main(args) == 0
+        mono = json.loads(capsys.readouterr().out)
+        set_engine(None)
+        assert cli_main(args + ["--intra-jobs", "2"]) == 0
+        chunked = json.loads(capsys.readouterr().out)
+        assert (json.dumps(chunked["exhibits"], sort_keys=True)
+                == json.dumps(mono["exhibits"], sort_keys=True))
+        assert chunked["engine"]["chunked"]["intra_jobs"] == 2
+
+    def test_run_all_rejects_bad_intra_jobs(self, capsys):
+        assert cli_main(["run-all", "--intra-jobs", "0"]) == 2
+        assert "--intra-jobs" in capsys.readouterr().err
+
+
+class TestBenchHarness:
+    def test_bench_writes_document_and_check_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        out = tmp_path / "out"
+        rc = bench.main([
+            "--scale", "small", "--programs", "nasa7",
+            "--configs", "reference,ooo", "--repeat", "1",
+            "--intra-jobs", "1", "--output", str(out),
+            "--baseline", str(baseline), "--update-baseline", "--check",
+        ])
+        assert rc == 0
+        documents = list(out.glob("BENCH_*.json"))
+        assert len(documents) == 1
+        doc = json.loads(documents[0].read_text())
+        assert doc["schema"] == bench.BENCH_SCHEMA
+        assert doc["points"] == 2
+        assert doc["totals"]["all_equivalent"] is True
+        for row in doc["results"]:
+            assert row["equivalent"] is True
+            assert set(row["wall_s"]) == {"monolithic", "chunked",
+                                          "chunked_warm"}
+            assert row["sim_cycles_per_s"]["monolithic"] > 0
+        base = json.loads(baseline.read_text())
+        assert set(base["aggregate"]) == {"chunked_over_mono",
+                                          "chunked_warm_over_mono"}
+
+    def test_bench_rejects_unknown_program(self, capsys):
+        assert bench.main(["--programs", "nope"]) == 2
+
+    def test_check_flags_equivalence_break_and_regression(self):
+        document = {
+            "results": [{
+                "workload": "w", "config": "c", "equivalent": False,
+                "wall_s": {"monolithic": 1.0, "chunked": 2.0,
+                           "chunked_warm": 1.0},
+            }],
+        }
+        baseline = {
+            "allowed_regression": {"aggregate": 0.25, "per_point": 0.25},
+            "aggregate": {"chunked_over_mono": 1.0},
+            "entries": {"w/c": {"chunked_over_mono": 1.0}},
+        }
+        problems = bench.check_against_baseline(document, baseline)
+        assert any("differs" in p for p in problems)
+        assert any("regressed" in p for p in problems)
+
+    def test_check_skips_sub_threshold_walls_per_point(self):
+        document = {
+            "results": [{
+                "workload": "w", "config": "c", "equivalent": True,
+                "wall_s": {"monolithic": 0.001, "chunked": 0.1,
+                           "chunked_warm": 0.1},
+            }],
+        }
+        baseline = {
+            "allowed_regression": {"aggregate": 1e9, "per_point": 0.25},
+            "aggregate": {},
+            "entries": {"w/c": {"chunked_over_mono": 1.0}},
+        }
+        assert bench.check_against_baseline(document, baseline) == []

@@ -1,0 +1,342 @@
+"""Chunked-simulation equivalence battery (:mod:`repro.parallel`).
+
+The one invariant the subsystem promises: for any workload, configuration
+and chunk size, the chunked simulator — speculative acceptance, exact
+replay, chunk-store resume, process pools, any mix — produces a
+:class:`~repro.common.stats.SimStats` **identical** to the monolithic run,
+down to the stall-cycle counters and busy intervals behind every figure.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import get_config, standard_configs
+from repro.core.runner import ExperimentEngine, ExperimentSpec, ResultStore, set_engine
+from repro.core.simulator import simulate_trace
+from repro.parallel import ChunkStore, ChunkedSimulation, simulate_trace_chunked
+from repro.parallel.boundary import quiescent, structural_digest, structural_of
+from repro.parallel.chunkstore import CHUNK_STORE_VERSION
+from repro.parallel.scout import plan_chunks, plan_cut_points
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+
+CONFIG_NAMES = tuple(standard_configs())
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_engine():
+    set_engine(None)
+    yield
+    set_engine(None)
+
+
+def _trace(workload: str, scale: str = "small"):
+    return get_workload(workload, scale).trace()
+
+
+def _mono_stats(trace, config):
+    return simulate_trace(trace, config).stats.to_dict()
+
+
+def _chunked_stats(trace, config, chunk_size, **kwargs):
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("speculate", "always")
+    sim = ChunkedSimulation(trace, config.params, chunk_size=chunk_size, **kwargs)
+    return sim.run().to_dict(), sim.report
+
+
+class TestEquivalenceEveryWorkload:
+    """ISSUE: every workload at small scale, any chunk size, identical stats."""
+
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_small_scale_identical_stats(self, workload):
+        # rotate configurations across workloads so the battery covers all
+        # five machines without simulating the full cross product twice
+        config = get_config(
+            CONFIG_NAMES[WORKLOAD_NAMES.index(workload) % len(CONFIG_NAMES)])
+        trace = _trace(workload)
+        mono = _mono_stats(trace, config)
+        for chunk_size in (211, 1024):
+            chunked, report = _chunked_stats(trace, config, chunk_size)
+            assert chunked == mono, (workload, config.name, chunk_size)
+            assert report.accepted + report.replayed == report.chunks
+
+    @pytest.mark.parametrize("config_name", CONFIG_NAMES)
+    def test_every_config_on_one_workload(self, config_name):
+        config = get_config(config_name)
+        trace = _trace("tomcatv")
+        mono = _mono_stats(trace, config)
+        for mode in ("always", "never", "auto"):
+            chunked, _ = _chunked_stats(trace, config, 389, speculate=mode)
+            assert chunked == mono, (config_name, mode)
+
+    def test_stall_counters_and_figure10_inputs_survive_chunking(self):
+        # the Figure 10 exhibit reads exactly these counters; spell the
+        # assertion out even though to_dict equality subsumes it
+        config = get_config("ooo-late-sle-vle")
+        trace = _trace("trfd")
+        mono = simulate_trace(trace, config).stats
+        sim = ChunkedSimulation(trace, config.params, chunk_size=300,
+                                speculate="always")
+        chunked = sim.run()
+        assert chunked.rename_stall_cycles == mono.rename_stall_cycles
+        assert chunked.rob_stall_cycles == mono.rob_stall_cycles
+        assert chunked.queue_stall_cycles == mono.queue_stall_cycles
+        assert chunked.lost_decode_cycles() == mono.lost_decode_cycles()
+        assert chunked.state_breakdown() == mono.state_breakdown()
+
+
+class TestEquivalenceProperty:
+    """Any chunk size — including degenerate ones — yields identical stats."""
+
+    @given(
+        chunk_size=st.integers(min_value=1, max_value=700),
+        config_name=st.sampled_from(CONFIG_NAMES),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_arbitrary_chunk_sizes(self, chunk_size, config_name):
+        config = get_config(config_name)
+        trace = _trace("su2cor", "tiny")
+        chunked, _ = _chunked_stats(trace, config, chunk_size)
+        assert chunked == _mono_stats(trace, config)
+
+    def test_chunk_size_one_and_trace_length(self):
+        config = get_config("reference")
+        trace = _trace("nasa7", "tiny")
+        mono = _mono_stats(trace, config)
+        for chunk_size in (1, len(trace), len(trace) + 7):
+            chunked, _ = _chunked_stats(trace, config, chunk_size)
+            assert chunked == mono
+
+
+class TestPlanning:
+    def test_cut_points_cover_trace(self):
+        trace = _trace("tomcatv", "tiny")
+        cuts = plan_cut_points(trace, 100)
+        assert cuts[0] == 0
+        assert cuts == sorted(set(cuts))
+        assert all(0 <= cut < len(trace) for cut in cuts)
+
+    def test_scout_predicts_true_structural_state_at_every_cut(self):
+        # the structural projection is stream-determined: the scout's
+        # prediction must match the true machine at every cut, regardless
+        # of whether the cut is quiescent
+        config = get_config("ooo-late-sle-vle")
+        trace = _trace("hydro2d", "tiny")
+        plans = plan_chunks(trace, config.params, 80)
+        from repro.parallel.driver import _make_run
+
+        parent = _make_run(config.params, trace.name)
+        position = 0
+        for plan in plans:
+            parent.run_slice(trace.instructions[position:plan.start])
+            position = plan.start
+            digest = structural_digest(structural_of(parent))
+            assert digest == plan.entry_digest, plan.index
+
+    def test_reference_plans_have_no_structural_state(self):
+        trace = _trace("nasa7", "tiny")
+        plans = plan_chunks(trace, get_config("reference").params, 50)
+        assert all(plan.entry_structural is None for plan in plans)
+        assert len({plan.entry_digest for plan in plans}) == 1
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("config_name", ["reference", "ooo-late-sle-vle"])
+    def test_mid_run_snapshot_resumes_identically(self, config_name):
+        config = get_config(config_name)
+        trace = _trace("flo52", "tiny")
+        from repro.parallel.driver import _make_run
+
+        full = _make_run(config.params, trace.name)
+        full.run_slice(trace)
+        expected = full.finalise().to_dict()
+
+        first = _make_run(config.params, trace.name)
+        first.run_slice(trace.instructions[:200])
+        state = first.snapshot()
+        assert json.dumps(state)  # JSON-compatible by contract
+
+        second = _make_run(config.params, trace.name)
+        second.restore(state)
+        second.run_slice(trace.instructions[200:])
+        assert second.finalise().to_dict() == expected
+
+    def test_quiescence_of_fresh_machines(self):
+        from repro.parallel.driver import _make_run
+
+        for name in ("reference", "ooo"):
+            run = _make_run(get_config(name).params, "t")
+            assert quiescent(run)
+
+
+class TestPoolExecution:
+    def test_pool_matches_monolithic(self):
+        config = get_config("reference")
+        trace = _trace("tomcatv")
+        mono = _mono_stats(trace, config)
+        try:
+            chunked, report = _chunked_stats(
+                trace, config, 257, jobs=2, speculate="auto")
+        except OSError:
+            pytest.skip("process pools unavailable in this sandbox")
+        assert chunked == mono
+        assert report.chunks > 1
+
+    def test_pool_warm_store_counts_each_hit_once(self, tmp_path):
+        config = get_config("reference")
+        trace = _trace("tomcatv", "tiny")
+        mono = _mono_stats(trace, config)
+        try:
+            _chunked_stats(trace, config, 150, jobs=2, speculate="auto",
+                           chunk_store=ChunkStore(tmp_path),
+                           point_fingerprint="fp-pool")
+        except OSError:
+            pytest.skip("process pools unavailable in this sandbox")
+        warm_store = ChunkStore(tmp_path)
+        warm, report = _chunked_stats(
+            trace, config, 150, jobs=2, speculate="auto",
+            chunk_store=warm_store, point_fingerprint="fp-pool")
+        assert warm == mono
+        # the submit path hands parsed entries to the stitcher; each store
+        # entry must be read (and counted) at most once
+        assert warm_store.hits <= report.cache_hits + report.chunks
+
+    def test_scout_failure_mid_wave_degrades_to_replay(self, monkeypatch):
+        # a scout that dies after a few chunks must leave the run on the
+        # exact-replay path (sticky _plan failure), never raise through
+        from repro.parallel import scout as scout_module
+
+        config = get_config("ooo")
+        trace = _trace("tomcatv", "tiny")
+        mono = _mono_stats(trace, config)
+        calls = {"n": 0}
+        original = scout_module.StructuralScout.step
+
+        def failing_step(self, dyn):
+            calls["n"] += 1
+            if calls["n"] > 250:
+                from repro.common.errors import SimulationError
+                raise SimulationError("scout gave up (injected)")
+            return original(self, dyn)
+
+        monkeypatch.setattr(scout_module.StructuralScout, "step", failing_step)
+        try:
+            chunked, report = _chunked_stats(
+                trace, config, 150, jobs=2, speculate="always")
+        except OSError:
+            pytest.skip("process pools unavailable in this sandbox")
+        assert chunked == mono
+        assert report.replayed >= 1
+
+
+class TestChunkStore:
+    def test_cold_stores_then_warm_hits(self, tmp_path):
+        config = get_config("reference")
+        trace = _trace("tomcatv", "tiny")
+        mono = _mono_stats(trace, config)
+
+        cold_store = ChunkStore(tmp_path)
+        cold, cold_report = _chunked_stats(
+            trace, config, 150, chunk_store=cold_store,
+            point_fingerprint="fp-x")
+        assert cold == mono
+        assert cold_store.stored == cold_report.accepted > 0
+
+        warm_store = ChunkStore(tmp_path)
+        warm, warm_report = _chunked_stats(
+            trace, config, 150, chunk_store=warm_store,
+            point_fingerprint="fp-x")
+        assert warm == mono
+        assert warm_report.cache_hits == cold_report.accepted
+        assert warm_store.hits == warm_report.cache_hits
+
+    def test_different_fingerprint_misses(self, tmp_path):
+        config = get_config("reference")
+        trace = _trace("tomcatv", "tiny")
+        store = ChunkStore(tmp_path)
+        _chunked_stats(trace, config, 150, chunk_store=store,
+                       point_fingerprint="fp-a")
+        other = ChunkStore(tmp_path)
+        _, report = _chunked_stats(trace, config, 150, chunk_store=other,
+                                   point_fingerprint="fp-b")
+        assert report.cache_hits == 0
+
+    def test_gc_evicts_stale_versions(self, tmp_path):
+        store = ChunkStore(tmp_path)
+        store.put("ab" + "0" * 62, {"kind": "ref"}, info={})
+        stale = tmp_path / "cd" / ("cd" + "1" * 62 + ".json")
+        stale.parent.mkdir(parents=True)
+        stale.write_text(json.dumps(
+            {"version": CHUNK_STORE_VERSION - 1, "state": {}}))
+        (tmp_path / "ef").mkdir()
+        (tmp_path / "ef" / "broken.json").write_text("{not json")
+        kept, evicted = ChunkStore(tmp_path).gc()
+        assert kept == 1
+        assert evicted == 2
+
+
+class TestEngineIntegration:
+    def test_chunked_engine_matches_plain_engine(self, tmp_path):
+        spec = ExperimentSpec.grid(
+            "chunked-vs-plain",
+            workloads=("tomcatv", "trfd"),
+            configs=(get_config("reference"), get_config("ooo")),
+            scale="tiny",
+        )
+        plain = ExperimentEngine(ResultStore()).run_spec(spec)
+        chunked_engine = ExperimentEngine(
+            ResultStore(tmp_path), intra_jobs=1, chunk_size=150)
+        chunked = chunked_engine.run_spec(spec)
+        for point in spec.points:
+            assert chunked[point].stats.to_dict() == plain[point].stats.to_dict()
+        assert chunked_engine.chunks_accepted + chunked_engine.chunks_replayed > 0
+        assert "chunked x150" in chunked_engine.summary()
+        # accepted speculative chunks were persisted under derived keys
+        assert chunked_engine.chunk_store is not None
+        if chunked_engine.chunks_accepted:
+            # the final results are themselves disk-cached, so exercise the
+            # chunk cache with a fresh memory-only result store that shares
+            # only the chunk store
+            fresh = ExperimentEngine(
+                ResultStore(), intra_jobs=1, chunk_size=150)
+            fresh.chunk_store = chunked_engine.chunk_store
+            fresh.run_spec(spec)
+            assert fresh.chunk_cache_hits > 0
+
+    def test_engine_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(ResultStore(), intra_jobs=0)
+        with pytest.raises(ValueError):
+            ExperimentEngine(ResultStore(), chunk_size=-1)
+
+
+class TestSimulateTraceChunked:
+    def test_wraps_result_with_config_identity(self):
+        config = get_config("ooo")
+        trace = _trace("nasa7", "tiny")
+        result, report = simulate_trace_chunked(trace, config, chunk_size=100)
+        assert result.workload == trace.name
+        assert result.config_name == "ooo"
+        assert result.stats.to_dict() == _mono_stats(trace, config)
+        assert report.chunks >= 1
+
+    def test_empty_trace_rejected(self):
+        from repro.common.errors import SimulationError
+        from repro.trace.records import Trace
+
+        with pytest.raises(SimulationError):
+            ChunkedSimulation(Trace("empty"), get_config("ooo").params)
+
+    def test_bad_chunk_size_rejected(self):
+        from repro.common.errors import SimulationError
+
+        trace = _trace("nasa7", "tiny")
+        with pytest.raises(SimulationError):
+            ChunkedSimulation(trace, get_config("ooo").params, chunk_size=0)
+        with pytest.raises(SimulationError):
+            ChunkedSimulation(trace, get_config("ooo").params,
+                              chunk_size=10, speculate="sometimes")
