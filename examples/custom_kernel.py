@@ -12,9 +12,10 @@ Run with::
     python examples/custom_kernel.py
 """
 
+from repro.api import Session
 from repro.compiler import ir
 from repro.compiler.pipeline import compile_kernel
-from repro.core import ooo_config, reference_config, simulate_trace
+from repro.core import ooo_config, reference_config
 from repro.trace import compute_trace_statistics, generate_trace
 
 
@@ -66,8 +67,9 @@ def main() -> int:
           f"average VL {stats.average_vector_length:.1f}")
     print()
 
-    reference = simulate_trace(trace, reference_config())
-    ooo = simulate_trace(trace, ooo_config(phys_vregs=16))
+    with Session() as session:
+        reference = session.simulate_trace(trace, reference_config())
+        ooo = session.simulate_trace(trace, ooo_config(phys_vregs=16))
     print(f"Reference machine : {reference.cycles} cycles")
     print(f"OOOVA (16 regs)   : {ooo.cycles} cycles  "
           f"(speedup {ooo.speedup_over(reference):.2f})")

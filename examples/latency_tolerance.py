@@ -13,13 +13,17 @@ Run with::
 With ``--cache-dir`` the simulation results persist on disk (shared with
 ``python -m repro.cli run-all``), so re-running the example is instant; with
 ``--jobs`` the missing grid points are simulated across worker processes.
+Both knobs configure a :class:`repro.api.Session`; the non-preset latency
+sweep runs inside :meth:`~repro.api.Session.scope`, which routes the
+``figure8_latency_tolerance`` experiment function through the session's
+caches without touching process-global state.
 """
 
 import argparse
 
 from repro.analysis import report_latency_tolerance
+from repro.api import Session
 from repro.core.experiments import figure8_latency_tolerance
-from repro.core.runner import configure_engine
 
 DEFAULT_PROGRAMS = ("swm256", "flo52", "trfd")
 LATENCIES = (1, 20, 50, 100)
@@ -28,25 +32,31 @@ LATENCIES = (1, 20, 50, 100)
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("programs", nargs="*", default=list(DEFAULT_PROGRAMS))
-    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=None)
     parser.add_argument("--cache-dir", default=None)
     args = parser.parse_args()
-    engine = configure_engine(cache_dir=args.cache_dir, jobs=args.jobs)
+    overrides = {}
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
 
     programs = tuple(args.programs)
-    results = figure8_latency_tolerance(programs=programs, latencies=LATENCIES)
-    print(report_latency_tolerance(results, LATENCIES))
-    print()
-    for program, machines in results.items():
-        ref = machines["REF"]
-        ooo = machines["OOOVA"]
-        ref_growth = ref[LATENCIES[-1]] / ref[LATENCIES[0]]
-        ooo_growth = ooo[LATENCIES[-1]] / ooo[LATENCIES[0]]
-        print(f"{program}: going from latency {LATENCIES[0]} to {LATENCIES[-1]} slows the "
-              f"reference machine by {100 * (ref_growth - 1):.0f}% "
-              f"but the OOOVA by only {100 * (ooo_growth - 1):.0f}%")
-    print()
-    print(engine.summary())
+    with Session(**overrides) as session:
+        with session.scope():
+            results = figure8_latency_tolerance(programs=programs, latencies=LATENCIES)
+        print(report_latency_tolerance(results, LATENCIES))
+        print()
+        for program, machines in results.items():
+            ref = machines["REF"]
+            ooo = machines["OOOVA"]
+            ref_growth = ref[LATENCIES[-1]] / ref[LATENCIES[0]]
+            ooo_growth = ooo[LATENCIES[-1]] / ooo[LATENCIES[0]]
+            print(f"{program}: going from latency {LATENCIES[0]} to {LATENCIES[-1]} slows the "
+                  f"reference machine by {100 * (ref_growth - 1):.0f}% "
+                  f"but the OOOVA by only {100 * (ooo_growth - 1):.0f}%")
+        print()
+        print(session.summary())
     return 0
 
 

@@ -7,6 +7,10 @@ scalar load elimination (SLE) and then scalar+vector load elimination
 The spill-bound programs (trfd, dyfesm, bdna) benefit the most, exactly as
 in the paper.
 
+The whole sweep is declared as one :class:`repro.api.RunRequest` and
+resolved through a :class:`repro.api.Session`, so every result is
+addressable as data.
+
 Run with::
 
     python examples/load_elimination.py [program ...]
@@ -15,26 +19,41 @@ Run with::
 import sys
 
 from repro.analysis import format_table
+from repro.api import RunRequest, Session
 from repro.common.params import CommitModel, LoadElimination
-from repro.core import ooo_config, run
-from repro.workloads import WORKLOAD_NAMES, get_workload
+from repro.core import ooo_config
+from repro.workloads import WORKLOAD_NAMES
 
 DEFAULT_PROGRAMS = ("swm256", "bdna", "trfd", "dyfesm")
 
 
 def main() -> int:
-    programs = tuple(sys.argv[1:]) or DEFAULT_PROGRAMS
-    rows = []
-    for program in programs:
+    requested = tuple(sys.argv[1:]) or DEFAULT_PROGRAMS
+    programs = []
+    for program in requested:
         if program not in WORKLOAD_NAMES:
             print(f"skipping unknown program {program!r}")
             continue
-        workload = get_workload(program)
-        baseline = run(workload, ooo_config(phys_vregs=32, commit_model=CommitModel.LATE))
-        sle = run(workload, ooo_config(phys_vregs=32, commit_model=CommitModel.LATE,
-                                       load_elimination=LoadElimination.SLE))
-        vle = run(workload, ooo_config(phys_vregs=32, commit_model=CommitModel.LATE,
-                                       load_elimination=LoadElimination.SLE_VLE))
+        programs.append(program)
+    if not programs:
+        return 1
+
+    baseline_cfg = ooo_config(phys_vregs=32, commit_model=CommitModel.LATE)
+    sle_cfg = ooo_config(phys_vregs=32, commit_model=CommitModel.LATE,
+                         load_elimination=LoadElimination.SLE)
+    vle_cfg = ooo_config(phys_vregs=32, commit_model=CommitModel.LATE,
+                         load_elimination=LoadElimination.SLE_VLE)
+    with Session() as session:
+        grid = session.run(RunRequest(
+            workloads=tuple(programs),
+            configs=(baseline_cfg, sle_cfg, vle_cfg),
+        ))
+
+    rows = []
+    for program in programs:
+        baseline = grid.get(program, baseline_cfg)
+        sle = grid.get(program, sle_cfg)
+        vle = grid.get(program, vle_cfg)
         rows.append([
             program,
             baseline.cycles,

@@ -6,6 +6,10 @@ register renaming and out-of-order issue to a traditional vector processor
 gives a substantial speedup (1.24-1.72 at 16 physical vector registers) and
 keeps the memory port busy a much larger fraction of the time.
 
+Everything goes through the public :mod:`repro.api` façade: one
+:class:`~repro.api.Session` owns the caches and engine, and a
+:class:`~repro.api.RunRequest` declares the whole sweep as data.
+
 Run it with::
 
     python examples/quickstart.py [program]
@@ -15,8 +19,11 @@ where ``program`` is one of the ten benchmark names (default: trfd).
 
 import sys
 
-from repro.core import ooo_config, reference_config, run
+from repro.api import RunRequest, Session
+from repro.core import ooo_config
 from repro.workloads import WORKLOAD_NAMES, get_workload
+
+REGISTER_COUNTS = (9, 16, 32, 64)
 
 
 def main() -> int:
@@ -33,14 +40,21 @@ def main() -> int:
     print(f"  average vector length: {stats.average_vector_length:.1f}")
     print()
 
-    reference = run(workload, reference_config())
+    ooo_configs = tuple(ooo_config(phys_vregs=regs) for regs in REGISTER_COUNTS)
+    with Session() as session:
+        grid = session.run(RunRequest(
+            workloads=(program,),
+            configs=("reference",) + ooo_configs,
+        ))
+
+    reference = grid.get(program, "reference")
     print(f"Reference (in-order C3400-like) machine: {reference.cycles} cycles, "
           f"memory port idle {100 * reference.stats.memory_port_idle_fraction():.1f}% of the time")
 
-    for regs in (9, 16, 32, 64):
-        ooo = run(workload, ooo_config(phys_vregs=regs))
+    for regs, config in zip(REGISTER_COUNTS, ooo_configs):
+        ooo = grid.get(program, config)
         print(f"OOOVA with {regs:>2} physical vector registers: {ooo.cycles:>9} cycles "
-              f"(speedup {ooo.speedup_over(reference):.2f}, "
+              f"(speedup {grid.speedup(program, config):.2f}, "
               f"port idle {100 * ooo.stats.memory_port_idle_fraction():.1f}%)")
 
     return 0

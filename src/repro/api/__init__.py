@@ -1,0 +1,86 @@
+"""``repro.api`` — the one public, typed entry point to the reproduction.
+
+Everything the command line can do is reachable programmatically from
+here, with no environment variables and no process-global state:
+
+* :class:`Settings` — frozen runtime configuration with the documented
+  precedence **explicit kwargs > environment > defaults**
+  (:meth:`Settings.resolve`);
+* :class:`Session` — owns the cache directory, result/trace/chunk stores
+  and the experiment engine; a context manager, one per driver;
+* :class:`RunRequest` / :class:`RunResult` — declarative workload ×
+  configuration sweep grids and their resolved results, as data;
+* :class:`ExhibitSet` / :class:`ExhibitResult` — every table and figure
+  of the paper's evaluation as data plus its text/JSON/CSV renderings;
+* :class:`Machine` / :class:`MachineModel` / :func:`register_machine` —
+  the timing-model protocol and registry: new machine models plug into
+  single-point simulation, sweep grids and chunked execution without
+  touching any driver code.
+
+Quickstart::
+
+    from repro.api import RunRequest, Session
+
+    with Session(cache_dir=".repro-cache", jobs=4) as session:
+        exhibits = session.exhibits(names=("table2", "figure5"))
+        print(exhibits.render("figure5"))        # the paper's ASCII figure
+        curves = exhibits["figure5"].data        # …or the raw data
+
+        grid = session.run(RunRequest(workloads=("trfd", "swm256"),
+                                      configs=("reference", "ooo")))
+        print(grid.speedup("trfd", "ooo"))
+
+``python -m repro.cli``, ``python -m repro.bench`` and the example
+scripts are thin adapters over this module.  Its ``__all__`` is a locked
+public surface (see ``tests/test_api_surface.py``): additions are
+deliberate, removals are breaking.
+"""
+
+from repro.api.machine import (
+    Machine,
+    MachineModel,
+    create_run,
+    get_machine_model,
+    machine_names,
+    model_for_params,
+    register_machine,
+)
+from repro.api.request import (
+    SCALE_ALIASES,
+    ExhibitResult,
+    ExhibitSet,
+    RunRequest,
+    RunResult,
+    resolve_scale,
+)
+from repro.api.session import Session, engine_summary_dict
+from repro.api.settings import (
+    CACHE_DIR_ENV,
+    CHUNK_SIZE_ENV,
+    INTRA_JOBS_ENV,
+    JOBS_ENV,
+    Settings,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CHUNK_SIZE_ENV",
+    "ExhibitResult",
+    "ExhibitSet",
+    "INTRA_JOBS_ENV",
+    "JOBS_ENV",
+    "Machine",
+    "MachineModel",
+    "RunRequest",
+    "RunResult",
+    "SCALE_ALIASES",
+    "Session",
+    "Settings",
+    "create_run",
+    "engine_summary_dict",
+    "get_machine_model",
+    "machine_names",
+    "model_for_params",
+    "register_machine",
+    "resolve_scale",
+]

@@ -1,0 +1,386 @@
+"""The :class:`Session`: one owner for stores, engine and exhibit runs.
+
+A session is the programmatic equivalent of one ``python -m repro.cli``
+invocation, minus the printing: it resolves a :class:`~repro.api.Settings`
+object (or accepts one), builds the result store, trace store, chunk store
+and :class:`~repro.core.runner.ExperimentEngine` exactly as the CLI wires
+them, and exposes every capability of the evaluation as typed calls —
+
+    from repro.api import RunRequest, Session
+
+    with Session(cache_dir=".repro-cache", jobs=4) as session:
+        figure5 = session.exhibits(names=("figure5",))
+        grid = session.run(RunRequest(workloads=("trfd",),
+                                      configs=("reference", "ooo")))
+        print(grid.speedup("trfd", "ooo"))
+
+— without touching ``os.environ`` or any process-global state.  Exhibit
+computations temporarily install the session's engine as the process-wide
+default (:func:`repro.core.runner.engine_scope`) so the ``table*`` /
+``figure*`` experiment functions resolve through this session's caches;
+the previous default is always reinstated.
+
+Sessions are context managers: ``close()`` flushes and closes the store
+backend (releasing the SQLite connection, persisting the JSON index).  A
+closed session raises on further use.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, ContextManager, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.api.request import (
+    ExhibitResult,
+    ExhibitSet,
+    RunRequest,
+    RunResult,
+    resolve_scale,
+    validate_programs,
+)
+from repro.api.settings import Settings
+from repro.common.errors import ReproError
+from repro.core.config import MachineConfig, get_config
+from repro.core.results import SimulationResult
+from repro.core.runner import (
+    TRACE_SUBDIR,
+    ExperimentEngine,
+    ExperimentPoint,
+    ExperimentSpec,
+    ResultStore,
+    engine_scope,
+)
+from repro.trace.records import Trace
+from repro.trace.store import TraceStore
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+
+
+def engine_summary_dict(engine: ExperimentEngine) -> dict[str, Any]:
+    """The engine's cache/execution counters as a JSON-compatible mapping.
+
+    This is the ``engine`` section of ``run-all --format json`` documents;
+    the CLI and :meth:`Session.exhibits` share it so the two outputs can
+    never drift apart.
+    """
+    summary: dict[str, Any] = {
+        "simulated": engine.simulated,
+        "disk_hits": engine.disk_hits,
+        "memory_hits": engine.memory_hits,
+        "jobs": engine.jobs,
+        "store": engine.store.describe(),
+    }
+    if engine.chunk_size:
+        summary["chunked"] = {
+            "chunk_size": engine.chunk_size,
+            "intra_jobs": engine.intra_jobs,
+            "accepted": engine.chunks_accepted,
+            "cached": engine.chunk_cache_hits,
+            "replayed": engine.chunks_replayed,
+        }
+    return summary
+
+
+class Session:
+    """Owns the cache directory, stores and engine for a series of runs.
+
+    Construct from a resolved :class:`Settings` or directly from keyword
+    overrides (``Session(cache_dir=…, jobs=4)``), which are resolved with
+    the standard precedence (explicit kwargs > environment > defaults).
+    """
+
+    def __init__(self, settings: Settings | None = None, **overrides: Any) -> None:
+        if settings is None:
+            settings = Settings.resolve(**overrides)
+        elif overrides:
+            settings = settings.override(**overrides)
+        self.settings = settings
+        # An explicitly requested backend without a cache directory is
+        # rejected by ResultStore; an environment-defaulted one merely
+        # names the kind to use *if* persistence is on (CLI-compatible).
+        backend = (
+            settings.store
+            if settings.cache_dir is not None or "store" in settings.explicit
+            else None
+        )
+        self._store = ResultStore(settings.cache_dir, backend=backend)
+        self.engine = ExperimentEngine(
+            self._store,
+            jobs=settings.jobs,
+            intra_jobs=settings.intra_jobs,
+            chunk_size=settings.chunk_size,
+        )
+        self._closed = False
+
+    # -- owned components ----------------------------------------------------
+
+    @property
+    def store(self) -> ResultStore:
+        """The two-level simulation-result store this session resolves through."""
+        return self._store
+
+    @property
+    def trace_store(self) -> TraceStore | None:
+        """The compiled-trace store (``None`` without a cache directory)."""
+        return self.engine.trace_store
+
+    @property
+    def chunk_store(self) -> Any:
+        """The chunk memoisation store (``None`` unless chunking is on)."""
+        return self.engine.chunk_store
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("this Session is closed")
+
+    # -- grid execution ------------------------------------------------------
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute a workload × configuration grid through the caches.
+
+        Missing points simulate (in parallel per the effective settings);
+        cached points are served as defensive copies.  Per-request
+        ``jobs``/``intra_jobs``/``chunk_size`` overrides run on a transient
+        engine that shares this session's stores.
+        """
+        self._check_open()
+        workloads = request.resolved_workloads()
+        configs = request.resolved_configs()
+        scale = request.resolved_scale()
+        engine = self._engine_for(request)
+        spec = ExperimentSpec.grid("api-run", workloads, configs, scale=scale)
+        resolved = engine.run_spec(spec)
+        results = {
+            (point.workload, point.config): result
+            for point, result in resolved.items()
+        }
+        return RunResult(request=request, results=results)
+
+    def result(
+        self,
+        workload: str,
+        config: str | MachineConfig,
+        scale: str = "small",
+    ) -> SimulationResult:
+        """One cached simulation result (simulating on a miss)."""
+        self._check_open()
+        if isinstance(config, str):
+            config = get_config(config)
+        point = ExperimentPoint(workload, resolve_scale(scale), config)
+        return self.engine.run_point(point)
+
+    def simulate(
+        self,
+        program: str,
+        config: str | MachineConfig = "ooo",
+        scale: str = "small",
+        chunk_size: int | None = None,
+        intra_jobs: int | None = None,
+    ) -> Tuple[SimulationResult, Optional[Any]]:
+        """Simulate one point directly (no result-store memoisation).
+
+        Returns ``(SimulationResult, ChunkedReport | None)`` — the report
+        is ``None`` for a monolithic run.  Chunked runs are bit-identical
+        to monolithic ones; chunking engages when the effective chunk size
+        is non-zero or the effective ``intra_jobs`` exceeds one.
+        """
+        self._check_open()
+        from repro.core.simulator import simulate_point, simulate_point_chunked
+        from repro.parallel import DEFAULT_CHUNK_SIZE
+
+        if program not in WORKLOAD_NAMES:
+            raise ReproError(
+                f"unknown program {program!r}; "
+                f"available: {', '.join(WORKLOAD_NAMES)}"
+            )
+        if isinstance(config, str):
+            config = get_config(config)
+        resolved_scale = resolve_scale(scale)
+        jobs = intra_jobs if intra_jobs is not None else self.settings.intra_jobs
+        size = chunk_size if chunk_size is not None else self.settings.chunk_size
+        if jobs < 1:
+            raise ReproError("intra_jobs must be at least 1")
+        if size < 0:
+            raise ReproError("chunk_size must be non-negative")
+        size = size or (DEFAULT_CHUNK_SIZE if jobs > 1 else 0)
+        if size:
+            return simulate_point_chunked(
+                program, resolved_scale, config,
+                chunk_size=size, intra_jobs=jobs,
+                trace_store=self.trace_store,
+            )
+        result = simulate_point(
+            program, resolved_scale, config, trace_store=self.trace_store
+        )
+        return result, None
+
+    def simulate_trace(self, trace: Trace, config: str | MachineConfig) -> SimulationResult:
+        """Simulate an already-built trace (e.g. a custom compiled kernel).
+
+        Dispatches through the machine-model registry, so any registered
+        model — not just the paper's two machines — can run a
+        bring-your-own-kernel trace.  No memoisation: custom traces carry
+        no registry identity to fingerprint.
+        """
+        self._check_open()
+        from repro.core.simulator import simulate_trace
+
+        if isinstance(config, str):
+            config = get_config(config)
+        return simulate_trace(trace, config)
+
+    def scope(self) -> ContextManager[ExperimentEngine]:
+        """Context manager making this session the process-wide default.
+
+        Inside the scope, legacy helpers that resolve through the default
+        engine (the ``table*``/``figure*`` experiment functions, or
+        deprecated ``run_cached`` callers) use this session's stores::
+
+            with session.scope():
+                data = figure8_latency_tolerance(("trfd",), latencies=(1, 50))
+        """
+        self._check_open()
+        return engine_scope(self.engine)
+
+    def trace(self, workload: str, scale: str = "small") -> Trace:
+        """The compiled trace of one workload (memoised when possible)."""
+        self._check_open()
+        resolved = resolve_scale(scale)
+        if self.trace_store is not None:
+            return self.trace_store.load_memoised(workload, resolved)
+        return get_workload(workload, resolved).trace()
+
+    # -- exhibits ------------------------------------------------------------
+
+    def iter_exhibits(
+        self,
+        names: Iterable[str] | None = None,
+        programs: Iterable[str] | None = None,
+        scale: str = "small",
+    ) -> Iterator[ExhibitResult]:
+        """Compute the selected exhibits lazily, in paper order.
+
+        Yields each :class:`~repro.api.ExhibitResult` as soon as it is
+        computed (the CLI streams its text output from this).  All
+        simulation resolves through this session's engine and stores.
+        """
+        self._check_open()
+        from repro.analysis.exhibits import get_exhibits
+
+        try:
+            exhibits = get_exhibits(tuple(names) if names is not None else None)
+        except KeyError as exc:
+            raise ReproError(exc.args[0]) from exc
+        if not exhibits:
+            raise ReproError("exhibit subset selected nothing")
+        selected = validate_programs(
+            tuple(programs) if programs is not None else None)
+        resolved_scale = resolve_scale(scale)
+        for exhibit in exhibits:
+            started = time.perf_counter()
+            with engine_scope(self.engine):
+                data = exhibit.run(selected, resolved_scale)
+            elapsed = time.perf_counter() - started
+            yield ExhibitResult(
+                name=exhibit.name,
+                title=exhibit.title,
+                data=data,
+                elapsed_s=elapsed,
+                renderer=exhibit.render,
+            )
+
+    def exhibits(
+        self,
+        names: Iterable[str] | None = None,
+        programs: Iterable[str] | None = None,
+        scale: str = "small",
+    ) -> ExhibitSet:
+        """Compute the selected exhibits and return them as one value.
+
+        Every table/figure is reachable as data (``set.data``, ``set[name]``)
+        and renderable as exactly the CLI's text/JSON/CSV documents.
+        """
+        computed = tuple(self.iter_exhibits(names, programs, scale))
+        self.flush()
+        return ExhibitSet(
+            scale=scale,
+            programs=validate_programs(
+                tuple(programs) if programs is not None else None),
+            exhibits=computed,
+            engine_summary=engine_summary_dict(self.engine),
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def gc(self) -> Mapping[str, tuple[int, int]]:
+        """Evict stale/corrupt cache entries from every namespace.
+
+        Returns ``{"results": (kept, evicted), "traces": …, "chunks": …}``.
+        Requires a cache directory.
+        """
+        self._check_open()
+        if self.settings.cache_dir is None:
+            raise ReproError("gc requires a cache directory")
+        from repro.parallel.chunkstore import make_chunk_store
+
+        cache_dir = Path(self.settings.cache_dir)
+        backend_kind = (
+            self._store.backend.kind if self._store.backend is not None else None
+        )
+        return {
+            "results": self._store.gc(),
+            "traces": TraceStore(cache_dir / TRACE_SUBDIR).gc(),
+            "chunks": make_chunk_store(cache_dir, backend_kind).gc(),
+        }
+
+    def engine_summary(self) -> dict[str, Any]:
+        """The engine counters as a JSON-compatible mapping."""
+        return engine_summary_dict(self.engine)
+
+    def summary(self) -> str:
+        """The engine's one-line cache/execution summary (CLI trailer)."""
+        return self.engine.summary()
+
+    def flush(self) -> None:
+        """Persist buffered store metadata (e.g. the JSON index file)."""
+        self._check_open()
+        self._store.flush()
+
+    def close(self) -> None:
+        """Flush and close the store backend; the session becomes unusable."""
+        if not self._closed:
+            self._closed = True
+            self._store.close()
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _engine_for(self, request: RunRequest) -> ExperimentEngine:
+        """This session's engine, or a transient one for request overrides."""
+        if (
+            request.jobs is None
+            and request.intra_jobs is None
+            and request.chunk_size is None
+        ):
+            return self.engine
+        return ExperimentEngine(
+            store=self._store,
+            jobs=request.jobs if request.jobs is not None else self.settings.jobs,
+            trace_store=self.trace_store,
+            intra_jobs=(
+                request.intra_jobs
+                if request.intra_jobs is not None
+                else self.settings.intra_jobs
+            ),
+            chunk_size=(
+                request.chunk_size
+                if request.chunk_size is not None
+                else self.settings.chunk_size
+            ),
+        )

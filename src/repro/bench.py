@@ -32,11 +32,11 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Sequence
 
+from repro.api import SCALE_ALIASES, Session
 from repro.core.config import standard_configs
 from repro.core.runner import ExperimentPoint
-from repro.core.simulator import simulate_trace
 from repro.parallel import DEFAULT_CHUNK_SIZE, ChunkedSimulation
-from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+from repro.workloads.registry import WORKLOAD_NAMES
 
 #: benchmark document schema version
 BENCH_SCHEMA = 1
@@ -49,8 +49,6 @@ DEFAULT_CONFIGS = ("reference", "ooo-late-sle-vle")
 #: rows with a monolithic wall below this are reported but never gated
 #: (millisecond-scale timings are too noisy for a regression verdict)
 MIN_GATED_WALL_S = 0.05
-
-SCALE_ALIASES = {"small": "small", "full": "medium"}
 
 
 def _revision() -> str:
@@ -82,6 +80,7 @@ def _best_wall(fn, repeat: int) -> tuple[float, object]:
 
 
 def bench_point(
+    session: Session,
     workload: str,
     config,
     scale: str,
@@ -97,16 +96,22 @@ def bench_point(
     store populated by the cold pass (every accepted chunk is read back
     instead of re-simulated — the resumability the subsystem exists for,
     and the one chunked win that shows even on a single-core machine).
+
+    Trace acquisition and the monolithic pass go through the ``session``
+    façade (so a ``REPRO_CACHE_DIR`` environment memoises compiled traces
+    across bench runs); the chunked passes drive the
+    :mod:`repro.parallel` subsystem directly — it *is* the thing being
+    benchmarked.
     """
     import tempfile
 
     from repro.parallel import ChunkStore
 
-    trace = get_workload(workload, scale).trace()
+    trace = session.trace(workload, scale)
     fingerprint = ExperimentPoint(workload, scale, config).fingerprint()
 
     mono_wall, mono_result = _best_wall(
-        lambda: simulate_trace(trace, config), repeat)
+        lambda: session.simulate_trace(trace, config), repeat)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-chunks-") as tmp:
         reports = []
@@ -189,23 +194,24 @@ def run_bench(
             pool = None
     results = []
     try:
-        for workload in programs:
-            for name in config_names:
-                row = bench_point(
-                    workload, configs[name], scale, chunk_size, intra_jobs,
-                    repeat, pool=pool,
-                )
-                results.append(row)
-                status = "ok" if row["equivalent"] else "MISMATCH"
-                print(
-                    f"{workload:>9s} {name:17s} mono {row['wall_s']['monolithic']:7.3f}s "
-                    f"chunked {row['wall_s']['chunked']:7.3f}s "
-                    f"warm {row['wall_s']['chunked_warm']:7.3f}s "
-                    f"({row['speedup']:4.2f}x/{row['speedup_warm']:4.2f}x, "
-                    f"{row['chunks']['accepted']}/{row['chunks']['total']} "
-                    f"accepted) [{status}]",
-                    file=sys.stderr,
-                )
+        with Session() as session:
+            for workload in programs:
+                for name in config_names:
+                    row = bench_point(
+                        session, workload, configs[name], scale, chunk_size,
+                        intra_jobs, repeat, pool=pool,
+                    )
+                    results.append(row)
+                    status = "ok" if row["equivalent"] else "MISMATCH"
+                    print(
+                        f"{workload:>9s} {name:17s} mono {row['wall_s']['monolithic']:7.3f}s "
+                        f"chunked {row['wall_s']['chunked']:7.3f}s "
+                        f"warm {row['wall_s']['chunked_warm']:7.3f}s "
+                        f"({row['speedup']:4.2f}x/{row['speedup_warm']:4.2f}x, "
+                        f"{row['chunks']['accepted']}/{row['chunks']['total']} "
+                        f"accepted) [{status}]",
+                        file=sys.stderr,
+                    )
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)

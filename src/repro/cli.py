@@ -1,4 +1,4 @@
-"""Command-line experiment driver.
+"""Command-line experiment driver — a thin adapter over :mod:`repro.api`.
 
 ``python -m repro.cli run-all`` reproduces every table and figure of the
 paper's evaluation in one command, batched through the experiment engine::
@@ -13,8 +13,9 @@ paper's evaluation in one command, batched through the experiment engine::
   same command performs **zero** simulations and only re-renders reports.
   Compiled workload traces are memoised under ``<cache-dir>/traces/`` too;
 * ``--store``     — result-store backend: ``json`` (sharded per-result
-  files, the default) or ``sqlite`` (one WAL-mode ``results.db``, safe for
-  concurrent writers).  ``REPRO_STORE`` sets the default;
+  files, the default), ``sqlite`` (one WAL-mode ``results.db``, safe for
+  concurrent writers) or ``object`` (an S3-style filesystem bucket under
+  ``<cache-dir>/objects/``).  ``REPRO_STORE`` sets the default;
 * ``--format``    — ``text`` (ASCII reports, the default), ``json`` (one
   machine-readable document) or ``csv`` (flat ``exhibit,path,value`` rows);
 * ``--exhibits``  — comma-separated subset (e.g. ``figure5,figure8``);
@@ -23,6 +24,13 @@ paper's evaluation in one command, batched through the experiment engine::
 ``python -m repro.cli gc --cache-dir D`` evicts cache entries that are
 corrupt, version-stale or no longer validate; ``python -m repro.cli list``
 prints the available exhibits and programs.
+
+Every flag is an *explicit* setting in the sense of
+:meth:`repro.api.Settings.resolve`: a flag the user passes always wins, an
+omitted flag falls back to the matching ``REPRO_*`` environment variable,
+then to the documented default.  All simulation, caching and rendering
+happens inside a single :class:`repro.api.Session`; this module only
+parses flags and prints.
 """
 
 from __future__ import annotations
@@ -30,19 +38,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
-from repro.analysis.exhibits import EXHIBIT_NAMES, get_exhibits
-from repro.analysis.export import exhibits_payload, render_csv, render_json
+from repro.analysis.exhibits import EXHIBIT_NAMES
+from repro.api import SCALE_ALIASES, ExhibitSet, Session, Settings
+from repro.api.request import split_names
 from repro.common.errors import ReproError
-from repro.core.runner import TRACE_SUBDIR, ResultStore, configure_engine
-from repro.core.store import BACKEND_NAMES, default_backend_kind
-from repro.trace.store import TraceStore
+from repro.core.store import BACKEND_NAMES
 from repro.workloads.registry import WORKLOAD_NAMES
-
-#: CLI scale names; ``full`` maps to the largest built-in workload scale
-SCALE_ALIASES = {"small": "small", "full": "medium"}
 
 #: run-all output formats
 FORMATS = ("text", "json", "csv")
@@ -58,12 +61,12 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     run_all = sub.add_parser("run-all", help="produce every table and figure")
     run_all.add_argument("--scale", choices=sorted(SCALE_ALIASES), default="small",
                          help="experiment scale (full = largest built-in scale)")
-    run_all.add_argument("--jobs", type=int, default=1, metavar="N",
+    run_all.add_argument("--jobs", type=int, default=None, metavar="N",
                          help="worker processes for missing simulation points")
-    run_all.add_argument("--intra-jobs", type=int, default=1, metavar="N",
+    run_all.add_argument("--intra-jobs", type=int, default=None, metavar="N",
                          help="chunk worker processes *within* each point "
                               "(points then run sequentially)")
-    run_all.add_argument("--chunk-size", type=int, default=0, metavar="I",
+    run_all.add_argument("--chunk-size", type=int, default=None, metavar="I",
                          help="instructions per simulation chunk (0: default "
                               "size when --intra-jobs > 1, else monolithic)")
     run_all.add_argument("--cache-dir", default=None, metavar="D",
@@ -85,9 +88,9 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                           help="machine configuration name (default: ooo)")
     simulate.add_argument("--scale", choices=sorted(SCALE_ALIASES),
                           default="small", help="workload scale")
-    simulate.add_argument("--intra-jobs", type=int, default=1, metavar="N",
+    simulate.add_argument("--intra-jobs", type=int, default=None, metavar="N",
                           help="chunk worker processes (default: 1)")
-    simulate.add_argument("--chunk-size", type=int, default=0, metavar="I",
+    simulate.add_argument("--chunk-size", type=int, default=None, metavar="I",
                           help="instructions per chunk (0: monolithic unless "
                                "--intra-jobs > 1)")
     simulate.add_argument("--format", choices=("text", "json"), default="text",
@@ -103,10 +106,25 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
-def _split(csv: str | None) -> tuple[str, ...] | None:
-    if csv is None:
-        return None
-    return tuple(part.strip() for part in csv.split(",") if part.strip())
+def _error(message: object) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _session_settings(args: argparse.Namespace) -> Settings:
+    """Resolve :class:`Settings` from the flags the user actually passed.
+
+    Omitted flags are *not* forwarded, so the resolver's documented
+    precedence applies: explicit flag > ``REPRO_*`` environment > default.
+    """
+    overrides: dict[str, Any] = {}
+    for flag, field in (("cache_dir", "cache_dir"), ("store", "store"),
+                        ("jobs", "jobs"), ("intra_jobs", "intra_jobs"),
+                        ("chunk_size", "chunk_size")):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
+    return Settings.resolve(**overrides)
 
 
 def _cmd_list() -> int:
@@ -118,82 +136,44 @@ def _cmd_list() -> int:
     return 0
 
 
-def _resolve_store(args: argparse.Namespace) -> str | None:
-    """The backend kind to use: ``--store``, else a validated $REPRO_STORE.
-
-    argparse does not validate *defaults* against ``choices``, so an invalid
-    environment value must be rejected here with a clean error (signalled by
-    returning ``None`` — backend names are never falsy).
-    """
-    if args.store is not None:
-        return args.store
-    try:
-        return default_backend_kind()
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return None
-
-
 def _cmd_gc(args: argparse.Namespace) -> int:
-    backend = _resolve_store(args)
-    if backend is None:
-        return 2
     try:
-        store = ResultStore(args.cache_dir, backend=backend)
+        with Session(_session_settings(args)) as session:
+            collected = session.gc()
+            kept, evicted = collected["results"]
+            print(f"gc ({session.store.describe()}): {kept} kept, "
+                  f"{evicted} evicted")
+            tkept, tevicted = collected["traces"]
+            print(f"gc (traces): {tkept} kept, {tevicted} evicted")
+            ckept, cevicted = collected["chunks"]
+            print(f"gc (chunks): {ckept} kept, {cevicted} evicted")
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    kept, evicted = store.gc()
-    store.close()
-    print(f"gc ({store.describe()}): {kept} kept, {evicted} evicted")
-    traces = TraceStore(Path(args.cache_dir) / TRACE_SUBDIR)
-    tkept, tevicted = traces.gc()
-    print(f"gc (traces): {tkept} kept, {tevicted} evicted")
-    from repro.parallel.chunkstore import CHUNK_SUBDIR, ChunkStore
-
-    ckept, cevicted = ChunkStore(Path(args.cache_dir) / CHUNK_SUBDIR).gc()
-    print(f"gc (chunks): {ckept} kept, {cevicted} evicted")
+        return _error(exc)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.core.config import get_config
-    from repro.core.simulator import run as run_simulation
-    from repro.core.simulator import simulate_point_chunked
-    from repro.parallel import DEFAULT_CHUNK_SIZE
-
-    if args.intra_jobs < 1:
-        print("error: --intra-jobs must be at least 1", file=sys.stderr)
-        return 2
-    if args.chunk_size < 0:
-        print("error: --chunk-size must be non-negative", file=sys.stderr)
-        return 2
-    if args.program not in WORKLOAD_NAMES:
-        print(f"error: unknown program {args.program!r}; "
-              f"available: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
-        return 2
+    if args.intra_jobs is not None and args.intra_jobs < 1:
+        return _error("--intra-jobs must be at least 1")
+    if args.chunk_size is not None and args.chunk_size < 0:
+        return _error("--chunk-size must be non-negative")
     try:
-        config = get_config(args.config)
+        session = Session(_session_settings(args))
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    scale = SCALE_ALIASES[args.scale]
-    chunk_size = args.chunk_size or (
-        DEFAULT_CHUNK_SIZE if args.intra_jobs > 1 else 0)
-    started = time.perf_counter()
-    report = None
-    if chunk_size:
-        result, report = simulate_point_chunked(
-            args.program, scale, config,
-            chunk_size=chunk_size, intra_jobs=args.intra_jobs,
-        )
-    else:
-        result = run_simulation(args.program, config, scale)
-    elapsed = time.perf_counter() - started
+        return _error(exc)
+    with session:
+        started = time.perf_counter()
+        try:
+            result, report = session.simulate(
+                args.program, args.config, scale=args.scale)
+        except ReproError as exc:
+            return _error(exc)
+        elapsed = time.perf_counter() - started
     if args.format == "json":
-        payload = {"result": result.to_dict(), "wall_s": round(elapsed, 4)}
+        payload: dict[str, Any] = {
+            "result": result.to_dict(), "wall_s": round(elapsed, 4)}
         if report is not None:
             payload["chunked"] = {
                 "chunks": report.chunks,
@@ -213,99 +193,66 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
-    if args.jobs < 1:
-        print("error: --jobs must be at least 1", file=sys.stderr)
-        return 2
-    if args.intra_jobs < 1:
-        print("error: --intra-jobs must be at least 1", file=sys.stderr)
-        return 2
-    if args.chunk_size < 0:
-        print("error: --chunk-size must be non-negative", file=sys.stderr)
-        return 2
+    if args.jobs is not None and args.jobs < 1:
+        return _error("--jobs must be at least 1")
+    if args.intra_jobs is not None and args.intra_jobs < 1:
+        return _error("--intra-jobs must be at least 1")
+    if args.chunk_size is not None and args.chunk_size < 0:
+        return _error("--chunk-size must be non-negative")
+    # Empty subsets get flag-specific messages here; unknown names are
+    # rejected by the session with the same error text the CLI always used.
+    exhibit_names = split_names(args.exhibits)
+    if exhibit_names is not None and not exhibit_names:
+        return _error("--exhibits selected nothing; available: "
+                      + ", ".join(EXHIBIT_NAMES))
+    programs = split_names(args.programs)
+    if programs is not None and not programs:
+        return _error("--programs selected nothing; available: "
+                      + ", ".join(WORKLOAD_NAMES))
     try:
-        exhibits = get_exhibits(_split(args.exhibits))
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
-    if not exhibits:
-        print("error: --exhibits selected nothing; available: "
-              + ", ".join(EXHIBIT_NAMES), file=sys.stderr)
-        return 2
-    programs = _split(args.programs)
-    if programs is not None:
-        if not programs:
-            print("error: --programs selected nothing; available: "
-                  + ", ".join(WORKLOAD_NAMES), file=sys.stderr)
-            return 2
-        unknown = [name for name in programs if name not in WORKLOAD_NAMES]
-        if unknown:
-            print(f"error: unknown program(s) {', '.join(unknown)}; "
-                  f"available: {', '.join(WORKLOAD_NAMES)}", file=sys.stderr)
-            return 2
-    backend = _resolve_store(args)
-    if backend is None:
-        return 2
-    scale = SCALE_ALIASES[args.scale]
-    try:
-        # Without a cache dir only an *explicit* --store reaches the engine
-        # (and is rejected there): a $REPRO_STORE default merely picks the
-        # backend kind, it is not a request for persistence.
-        engine = configure_engine(
-            cache_dir=args.cache_dir, jobs=args.jobs,
-            store=backend if args.cache_dir is not None else args.store,
-            intra_jobs=args.intra_jobs, chunk_size=args.chunk_size,
-        )
+        session = Session(_session_settings(args))
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _error(exc)
 
-    collected: dict[str, object] = {}
-    started = time.perf_counter()
-    for exhibit in exhibits:
-        exhibit_started = time.perf_counter()
-        data = exhibit.run(programs, scale)
-        elapsed = time.perf_counter() - exhibit_started
-        if args.format == "text":
-            report = exhibit.render(data)
-            print("=" * 78)
-            print(f"{exhibit.title}  [{exhibit.name}, {elapsed:.2f}s]")
-            print("=" * 78)
-            print(report)
-            print()
-        else:
-            collected[exhibit.name] = data
-    total = time.perf_counter() - started
-    engine.store.flush()  # persist the (advisory) index in one final merge
+    with session:
+        computed = []
+        started = time.perf_counter()
+        try:
+            for exhibit in session.iter_exhibits(
+                names=exhibit_names, programs=programs, scale=args.scale,
+            ):
+                computed.append(exhibit)
+                if args.format == "text":
+                    print("=" * 78)
+                    print(f"{exhibit.title}  [{exhibit.name}, "
+                          f"{exhibit.elapsed_s:.2f}s]")
+                    print("=" * 78)
+                    print(exhibit.render())
+                    print()
+        except ReproError as exc:
+            return _error(exc)
+        total = time.perf_counter() - started
+        session.flush()  # persist the (advisory) index in one final merge
 
-    if args.format != "text":
-        engine_summary = {
-            "simulated": engine.simulated,
-            "disk_hits": engine.disk_hits,
-            "memory_hits": engine.memory_hits,
-            "jobs": engine.jobs,
-            "store": engine.store.describe(),
-        }
-        if engine.chunk_size:
-            engine_summary["chunked"] = {
-                "chunk_size": engine.chunk_size,
-                "intra_jobs": engine.intra_jobs,
-                "accepted": engine.chunks_accepted,
-                "cached": engine.chunk_cache_hits,
-                "replayed": engine.chunks_replayed,
-            }
-        payload = exhibits_payload(collected, args.scale, programs,
-                                   engine_summary=engine_summary)
-        print(render_json(payload) if args.format == "json" else render_csv(payload))
+        if args.format != "text":
+            exhibit_set = ExhibitSet(
+                scale=args.scale,
+                programs=programs,
+                exhibits=tuple(computed),
+                engine_summary=session.engine_summary(),
+            )
+            print(exhibit_set.to_json() if args.format == "json"
+                  else exhibit_set.to_csv())
 
-    # In json/csv mode the human-readable trailer goes to stderr so stdout
-    # stays a single parseable document.
-    trailer = sys.stdout if args.format == "text" else sys.stderr
-    print("-" * 78, file=trailer)
-    print(f"{len(exhibits)} exhibit(s) at scale '{args.scale}' in {total:.2f}s",
-          file=trailer)
-    print(engine.summary(), file=trailer)
-    if args.cache_dir:
-        print(f"cache dir: {args.cache_dir}", file=trailer)
+        # In json/csv mode the human-readable trailer goes to stderr so
+        # stdout stays a single parseable document.
+        trailer = sys.stdout if args.format == "text" else sys.stderr
+        print("-" * 78, file=trailer)
+        print(f"{len(computed)} exhibit(s) at scale '{args.scale}' "
+              f"in {total:.2f}s", file=trailer)
+        print(session.summary(), file=trailer)
+        if session.settings.cache_dir:
+            print(f"cache dir: {session.settings.cache_dir}", file=trailer)
     return 0
 
 

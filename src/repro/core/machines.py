@@ -1,0 +1,282 @@
+"""The :class:`Machine` protocol and the machine-model registry.
+
+``_OOORun`` and ``_ReferenceRun`` have shared an interface de facto since
+the chunked simulator landed: ``run_slice`` consumes instructions,
+``finalise`` derives the final :class:`~repro.common.stats.SimStats`, and
+``snapshot``/``restore`` round-trip all mutable machine state.  This module
+makes that contract explicit — :class:`Machine` is the structural protocol
+— and replaces the ``isinstance`` dispatch scattered through
+:mod:`repro.core.simulator` and :mod:`repro.parallel` with a registry of
+named :class:`MachineModel` entries, so a new timing model plugs into the
+simulator, the experiment engine *and* the chunked driver without touching
+any of them:
+
+    from repro.core.machines import MachineModel, register_machine
+
+    register_machine(MachineModel(
+        name="mymachine",
+        params_type=MyParams,
+        factory=lambda params, trace: _MyRun(params, trace),
+    ))
+
+Only ``name``, ``params_type`` and ``factory`` are required.  The chunking
+hooks default to a conservative profile — never quiescent, no structural
+state — under which the chunked driver routes every chunk through the
+exact-replay fallback: a registered-but-unhooked machine is always
+*correct*, it just doesn't speculate.  The built-in models register lazily
+on first lookup, keeping this module import-light (it is imported by the
+simulator and the chunked driver at module load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+from repro.common.errors import ReproError
+from repro.trace.records import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.common.stats import SimStats
+    from repro.parallel.scout import ChunkPlan
+
+
+@runtime_checkable
+class Machine(Protocol):
+    """One resumable machine simulation (the ``_OOORun``/``_ReferenceRun`` contract).
+
+    ``run_slice`` may be called any number of times — state carries over —
+    and ``finalise`` once at the end.  ``snapshot`` returns a
+    JSON-compatible dictionary that ``restore`` accepts on a freshly built
+    instance of the same model; the chunked simulator relies on this
+    round-trip (and on shift equivariance of every time field, see
+    :mod:`repro.parallel.boundary`) to stitch independently simulated
+    chunks back together.  ``params`` must expose the machine parameters
+    the run was built from — the registry dispatches live runs back to
+    their :class:`MachineModel` through it (:func:`model_for_run`).
+    """
+
+    #: the machine parameters this run was built from (registry dispatch key)
+    params: Any
+
+    def run_slice(self, instructions: Iterable[Any]) -> None:
+        """Process ``instructions``, carrying machine state across calls."""
+        ...
+
+    def finalise(self) -> "SimStats":
+        """Derive the final statistics from the accumulated state."""
+        ...
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of all mutable machine state."""
+        ...
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        ...
+
+
+# -- conservative default hooks ---------------------------------------------
+
+def _never_quiescent(run: Machine) -> bool:
+    """Default quiescence test: never safe — every chunk replays exactly."""
+    return False
+
+
+def _zero_anchor(run: Machine) -> int:
+    """Default fetch anchor (unused while :func:`_never_quiescent` holds)."""
+    return 0
+
+
+def _no_structural(run: Machine) -> Optional[dict]:
+    """Default structural projection: the model exposes no structural state."""
+    return None
+
+
+def _apply_no_structural(run: Machine, structural: Optional[dict]) -> None:
+    """Default structural seeding: only the empty boundary is accepted."""
+    if structural is not None:
+        raise ReproError(
+            "machine model has no structural boundary; cannot seed a worker"
+        )
+
+
+def _reject_chunk(run: Machine, worker: dict, delta: int) -> None:
+    """Default merge hook: models without one cannot accept chunks."""
+    raise ReproError("machine model does not support chunk merging")
+
+
+def _trivial_plans(
+    trace: Trace, params: Any, cuts: list[int]
+) -> Iterator["ChunkPlan"]:
+    """Default chunk planner: empty boundaries that never match a live digest.
+
+    Paired with :func:`_never_quiescent` this sends every chunk through the
+    exact-replay fallback, which is always correct.
+    """
+    from repro.parallel.scout import ChunkPlan
+
+    bounds = list(zip(cuts, cuts[1:] + [len(trace)]))
+    for index, (start, stop) in enumerate(bounds):
+        yield ChunkPlan(index, start, stop, None, "unhooked-machine-model")
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A named, pluggable timing model: how to build and (optionally) chunk it.
+
+    ``factory`` receives the machine parameters and the full trace and
+    returns a fresh :class:`Machine`.  The remaining hooks power the
+    chunked driver (:mod:`repro.parallel.driver`); their defaults disable
+    speculation without affecting correctness.
+    """
+
+    #: registry name (e.g. ``"ooo"``); also reported by ``machine_names()``
+    name: str
+    #: the parameter dataclass this model simulates
+    params_type: type
+    #: (params, trace) -> a fresh run object
+    factory: Callable[[Any, Trace], Machine]
+    #: ``snapshot()["kind"]`` tag of this model's snapshots
+    snapshot_kind: str = ""
+    #: True when the live run's pending timing state is dominated by the anchor
+    quiescent: Callable[[Machine], bool] = field(default=_never_quiescent)
+    #: the cut's fetch anchor — the Δ by which a canonical chunk shifts
+    anchor_of: Callable[[Machine], int] = field(default=_zero_anchor)
+    #: stream-determined projection of the live state (None: no such state)
+    structural_of: Callable[[Machine], Optional[dict]] = field(default=_no_structural)
+    #: seed a freshly built run with a predicted structural boundary
+    apply_structural: Callable[[Machine, Optional[dict]], None] = field(
+        default=_apply_no_structural)
+    #: merge an accepted worker snapshot into the live parent run (shift by Δ)
+    apply_chunk: Callable[[Machine, dict, int], None] = field(default=_reject_chunk)
+    #: lazily yield one ChunkPlan per cut (scout pass)
+    plan_chunks: Callable[[Trace, Any, list], Iterator["ChunkPlan"]] = field(
+        default=_trivial_plans)
+
+
+_REGISTRY: dict[str, MachineModel] = {}
+_BUILTIN_REGISTERED = False
+
+
+def register_machine(model: MachineModel) -> MachineModel:
+    """Register ``model`` under its name (and parameter type) and return it.
+
+    Re-registering an existing name replaces the entry *only* when the
+    parameter type matches (so tests can stub hooks); a name collision
+    across different parameter types is an error, as is a second model
+    claiming an already-registered parameter type under a new name.
+    """
+    _ensure_builtin()
+    existing = _REGISTRY.get(model.name)
+    if existing is not None and existing.params_type is not model.params_type:
+        raise ReproError(
+            f"machine name {model.name!r} is already registered for "
+            f"{existing.params_type.__name__}"
+        )
+    for other in _REGISTRY.values():
+        if other.name != model.name and other.params_type is model.params_type:
+            raise ReproError(
+                f"machine parameters {model.params_type.__name__} are already "
+                f"registered as {other.name!r}"
+            )
+    _REGISTRY[model.name] = model
+    return model
+
+
+def machine_names() -> tuple[str, ...]:
+    """The registered model names, in registration order."""
+    _ensure_builtin()
+    return tuple(_REGISTRY)
+
+
+def get_machine_model(name: str) -> MachineModel:
+    """Look a model up by name."""
+    _ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown machine model {name!r}; "
+            f"available: {', '.join(_REGISTRY)}"
+        ) from exc
+
+
+def model_for_params(params: Any) -> MachineModel:
+    """The model registered for ``type(params)`` (subclasses match too)."""
+    _ensure_builtin()
+    for model in _REGISTRY.values():
+        if type(params) is model.params_type:
+            return model
+    for model in _REGISTRY.values():
+        if isinstance(params, model.params_type):
+            return model
+    raise ReproError(
+        f"no machine model registered for parameters {type(params).__name__!r}; "
+        f"available: {', '.join(_REGISTRY)}"
+    )
+
+
+def model_for_run(run: Machine) -> MachineModel:
+    """The model behind a live run object (via its ``params`` attribute)."""
+    return model_for_params(run.params)
+
+
+def create_run(params: Any, trace: Optional[Trace] = None, name: str = "") -> Machine:
+    """Build a fresh run for ``params`` (empty named trace when none given)."""
+    if trace is None:
+        trace = Trace(name=name, instructions=[])
+    return model_for_params(params).factory(params, trace)
+
+
+def _ensure_builtin() -> None:
+    """Register the paper's two machines on first registry use.
+
+    Deferred so that importing this module stays cheap and cycle-free: the
+    hooks pull in the full OOOVA/reference machines and the chunk-boundary
+    machinery, which themselves import large parts of the package.
+    """
+    global _BUILTIN_REGISTERED
+    if _BUILTIN_REGISTERED:
+        return
+    _BUILTIN_REGISTERED = True
+
+    from repro.common.params import OOOParams, ReferenceParams
+    from repro.ooo.machine import _OOORun
+    from repro.parallel import boundary, scout
+    from repro.refsim.machine import _ReferenceRun
+
+    _REGISTRY["reference"] = MachineModel(
+        name="reference",
+        params_type=ReferenceParams,
+        factory=lambda params, trace: _ReferenceRun(params, trace),
+        snapshot_kind="ref",
+        quiescent=boundary.ref_quiescent,
+        anchor_of=lambda run: run.issue_ready,
+        structural_of=_no_structural,
+        apply_structural=_apply_no_structural,
+        apply_chunk=boundary.apply_chunk_ref,
+        plan_chunks=scout.iter_reference_plans,
+    )
+    _REGISTRY["ooo"] = MachineModel(
+        name="ooo",
+        params_type=OOOParams,
+        factory=lambda params, trace: _OOORun(params, trace),
+        snapshot_kind="ooo",
+        quiescent=boundary.ooo_quiescent,
+        anchor_of=lambda run: run.last_rename + 1,
+        structural_of=lambda run: boundary.ooo_structural(
+            run.rename, run.predictor, run.loadelim),
+        apply_structural=boundary.apply_ooo_structural,
+        apply_chunk=boundary.apply_chunk_ooo,
+        plan_chunks=scout.iter_ooo_plans,
+    )

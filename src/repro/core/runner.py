@@ -9,10 +9,10 @@ hundreds of them.  This module turns that grid into a first-class object:
   one table or figure);
 * :class:`ResultStore` — a two-level result cache: an in-memory map plus an
   optional persistent backend (:mod:`repro.core.store`) keyed by a
-  configuration fingerprint.  Two production backends — sharded JSON files
-  and a single WAL-mode SQLite database — are selected with the
-  ``backend`` argument, the CLI's ``--store`` flag or the ``REPRO_STORE``
-  environment variable;
+  configuration fingerprint.  Three production backends — sharded JSON
+  files, a single WAL-mode SQLite database, and an S3-style object store —
+  are selected with the ``backend`` argument, the CLI's ``--store`` flag or
+  the ``REPRO_STORE`` environment variable;
 * :class:`ExperimentEngine` — executes the missing points of a spec, batched
   across a :class:`concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``
   (workers rebuild the simulators from the picklable points and ship results
@@ -38,7 +38,9 @@ import hashlib
 import itertools
 import json
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager as _contextmanager
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
@@ -58,11 +60,16 @@ from repro.core.store import (  # noqa: F401  (STORE_VERSION re-exported)
 )
 from repro.trace.store import TraceStore
 
-#: environment knobs picked up by the default engine (see :func:`get_engine`)
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-JOBS_ENV = "REPRO_JOBS"
-INTRA_JOBS_ENV = "REPRO_INTRA_JOBS"
-CHUNK_SIZE_ENV = "REPRO_CHUNK_SIZE"
+#: environment knobs picked up by the default engine (see :func:`get_engine`);
+#: re-exported from :mod:`repro.core.settings`, where the precedence
+#: resolver that interprets them lives
+from repro.core.settings import (  # noqa: E402  (re-export)
+    CACHE_DIR_ENV,
+    CHUNK_SIZE_ENV,
+    INTRA_JOBS_ENV,
+    JOBS_ENV,
+    Settings,
+)
 
 #: subdirectory of the cache dir holding memoised compiled traces
 TRACE_SUBDIR = "traces"
@@ -287,9 +294,12 @@ class ExperimentEngine:
         self.trace_store = trace_store
         self.chunk_store = None
         if self.chunk_size and self.store.cache_dir is not None:
-            from repro.parallel.chunkstore import CHUNK_SUBDIR, ChunkStore
+            from repro.parallel.chunkstore import make_chunk_store
 
-            self.chunk_store = ChunkStore(self.store.cache_dir / CHUNK_SUBDIR)
+            # the chunk namespace follows the result store's backend kind,
+            # so --store object keeps both caches in one bucket root
+            kind = self.store.backend.kind if self.store.backend is not None else None
+            self.chunk_store = make_chunk_store(self.store.cache_dir, kind)
         #: (workload, scale) pairs already ensured on disk — without this
         #: memo every exhibit batch would re-validate (fully unpickle) each
         #: trace in the parent, the very cost the store exists to avoid
@@ -469,26 +479,33 @@ _default_engine: ExperimentEngine | None = None
 def get_engine() -> ExperimentEngine:
     """Return the process-wide default engine, creating it on first use.
 
-    The initial engine honours the ``REPRO_CACHE_DIR``, ``REPRO_JOBS`` and
-    ``REPRO_STORE`` environment variables, so test and benchmark runs can
-    share a persistent cache (and pick a store backend) without any code
-    changes.
+    The initial engine is configured through the
+    :class:`repro.api.Settings` precedence resolver, so it honours the
+    ``REPRO_CACHE_DIR``, ``REPRO_JOBS``, ``REPRO_INTRA_JOBS``,
+    ``REPRO_CHUNK_SIZE`` and ``REPRO_STORE`` environment variables — test
+    and benchmark runs can share a persistent cache (and pick a store
+    backend) without any code changes.
     """
     global _default_engine
     if _default_engine is None:
-        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
-
-        def _env_int(name: str, default: int = 1, minimum: int = 1) -> int:
-            try:
-                return max(minimum, int(os.environ.get(name, str(default))))
-            except ValueError:
-                return default
-
+        try:
+            settings = Settings.resolve()
+        except ReproError:
+            # An invalid $REPRO_STORE only matters when persistence is on:
+            # a memory-only default engine never touches the backend, so
+            # (as before this resolver existed) it keeps working.  With a
+            # cache directory configured the error is real — re-raise.
+            if os.environ.get(CACHE_DIR_ENV):
+                raise
+            settings = Settings.resolve(store="json")
         _default_engine = ExperimentEngine(
-            ResultStore(cache_dir),
-            jobs=_env_int(JOBS_ENV),
-            intra_jobs=_env_int(INTRA_JOBS_ENV),
-            chunk_size=_env_int(CHUNK_SIZE_ENV, default=0, minimum=0),
+            ResultStore(
+                settings.cache_dir,
+                backend=settings.store if settings.cache_dir is not None else None,
+            ),
+            jobs=settings.jobs,
+            intra_jobs=settings.intra_jobs,
+            chunk_size=settings.chunk_size,
         )
     return _default_engine
 
@@ -500,13 +517,46 @@ def configure_engine(
     intra_jobs: int = 1,
     chunk_size: int = 0,
 ) -> ExperimentEngine:
-    """Replace the default engine (used by the CLI and by tests)."""
+    """Replace the default engine.
+
+    .. deprecated::
+        Use :class:`repro.api.Session` instead — it owns the same engine
+        without mutating process-global state for its own lookups, and
+        scopes the default-engine swap to each call.  This shim keeps old
+        drivers working (identical behaviour) and will be removed in a
+        future major version.
+    """
+    warnings.warn(
+        "configure_engine() is deprecated; build a repro.api.Session "
+        "(optionally with repro.api.Settings) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     engine = ExperimentEngine(
         ResultStore(cache_dir, backend=store), jobs=jobs,
         intra_jobs=intra_jobs, chunk_size=chunk_size,
     )
     set_engine(engine)
     return engine
+
+
+@_contextmanager
+def engine_scope(engine: ExperimentEngine):
+    """Temporarily install ``engine`` as the process-wide default.
+
+    Unlike :func:`set_engine`, neither the outgoing nor the incoming
+    engine's store is closed: the previous default (and its open backend)
+    is reinstated untouched on exit.  :class:`repro.api.Session` wraps
+    every exhibit computation in this scope so the ``table*``/``figure*``
+    experiment functions resolve through the session's engine.
+    """
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    try:
+        yield engine
+    finally:
+        _default_engine = previous
 
 
 def set_engine(engine: ExperimentEngine | None) -> None:

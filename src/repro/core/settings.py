@@ -1,0 +1,197 @@
+"""Typed runtime settings with one documented precedence rule.
+
+Before this module existed, the same five knobs were read in three
+different ways — ``os.environ`` lookups scattered through
+``cli.py``/``runner.py``/``store.py``, CLI flags, and constructor keyword
+arguments — each with its own defaulting quirks.  :class:`Settings`
+replaces all of that with a single frozen value object and one resolver:
+
+    **explicit keyword arguments  >  environment variables  >  defaults**
+
+An *explicitly passed* keyword always wins, even when its value is falsy:
+``Settings.resolve(chunk_size=0)`` pins monolithic simulation no matter
+what ``REPRO_CHUNK_SIZE`` says, and ``Settings.resolve(cache_dir=None)``
+disables persistence even with ``REPRO_CACHE_DIR`` set.  The resolved
+object records which fields were explicit (:attr:`Settings.explicit`), so
+downstream consumers can distinguish "the user asked for the sqlite store"
+from "sqlite happened to be the environment default".
+
+This module lives in ``repro.core`` so the engine can depend on it
+without reaching *up* into the façade; the public import path is
+:mod:`repro.api` (``from repro.api import Settings``), which re-exports
+everything here.
+
+Environment variables (all optional):
+
+============================  =============================================
+``REPRO_CACHE_DIR``           persistent cache directory (empty: disabled)
+``REPRO_STORE``               result-store backend: ``json``/``sqlite``/
+                              ``object`` (invalid values are an error)
+``REPRO_JOBS``                worker processes per sweep (clamped to ≥ 1;
+                              unparsable values fall back to the default)
+``REPRO_INTRA_JOBS``          chunk workers within one point (ditto)
+``REPRO_CHUNK_SIZE``          instructions per chunk (clamped to ≥ 0)
+============================  =============================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.common.errors import ReproError
+from repro.core.store import BACKEND_NAMES, STORE_ENV
+
+#: environment variable naming the persistent cache directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: environment variable for sweep-level worker processes
+JOBS_ENV = "REPRO_JOBS"
+#: environment variable for chunk-level worker processes within one point
+INTRA_JOBS_ENV = "REPRO_INTRA_JOBS"
+#: environment variable for the chunked-simulation partition size
+CHUNK_SIZE_ENV = "REPRO_CHUNK_SIZE"
+
+#: sentinel distinguishing "not passed" from every real value (incl. falsy)
+_UNSET: Any = object()
+
+
+def _env_int(env: Mapping[str, str], name: str, default: int, minimum: int) -> int:
+    """Integer environment knob: unparsable → default, else clamped."""
+    raw = env.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return max(minimum, int(raw))
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Resolved, immutable runtime configuration for a :class:`~repro.api.Session`.
+
+    Build instances with :meth:`resolve` (the precedence resolver) rather
+    than the bare constructor, unless every field is intentionally pinned.
+    """
+
+    #: persistent cache directory (``None``: purely in-memory stores)
+    cache_dir: str | None = None
+    #: result-store backend kind (``json``, ``sqlite`` or ``object``)
+    store: str = "json"
+    #: worker processes fanning out the points of a sweep grid
+    jobs: int = 1
+    #: chunk worker processes *within* one simulation point
+    intra_jobs: int = 1
+    #: instructions per simulation chunk (0: monolithic unless intra_jobs > 1)
+    chunk_size: int = 0
+    #: names of the fields that were passed explicitly to :meth:`resolve`
+    explicit: frozenset[str] = field(default=frozenset(), compare=False)
+
+    @classmethod
+    def resolve(
+        cls,
+        *,
+        cache_dir: Any = _UNSET,
+        store: Any = _UNSET,
+        jobs: Any = _UNSET,
+        intra_jobs: Any = _UNSET,
+        chunk_size: Any = _UNSET,
+        env: Mapping[str, str] | None = None,
+    ) -> "Settings":
+        """Resolve settings as **explicit kwargs > environment > defaults**.
+
+        ``env`` defaults to ``os.environ`` and exists for tests.  Explicit
+        values are validated strictly (:class:`~repro.common.errors.ReproError`
+        on a bad backend name, ``jobs < 1`` or ``chunk_size < 0``);
+        unparsable integer *environment* values fall back to the default
+        and out-of-range ones are clamped, matching the engine's historical
+        tolerance for a sloppy environment.
+        """
+        environ: Mapping[str, str] = os.environ if env is None else env
+        explicit = set()
+
+        if cache_dir is _UNSET:
+            resolved_cache = environ.get(CACHE_DIR_ENV) or None
+        else:
+            explicit.add("cache_dir")
+            resolved_cache = os.fspath(cache_dir) if cache_dir else None
+
+        if store is _UNSET:
+            resolved_store = environ.get(STORE_ENV) or "json"
+            if resolved_store not in BACKEND_NAMES:
+                raise ReproError(
+                    f"unknown result-store backend {resolved_store!r} "
+                    f"(from ${STORE_ENV}); available: {', '.join(BACKEND_NAMES)}"
+                )
+        else:
+            explicit.add("store")
+            resolved_store = store
+            if resolved_store not in BACKEND_NAMES:
+                raise ReproError(
+                    f"unknown result-store backend {resolved_store!r}; "
+                    f"available: {', '.join(BACKEND_NAMES)}"
+                )
+
+        def _explicit_int(name: str, value: Any, minimum: int) -> int:
+            explicit.add(name)
+            try:
+                number = int(value)
+            except (TypeError, ValueError) as exc:
+                raise ReproError(f"{name} must be an integer, got {value!r}") from exc
+            if number < minimum:
+                raise ReproError(f"{name} must be at least {minimum}, got {number}")
+            return number
+
+        if jobs is _UNSET:
+            resolved_jobs = _env_int(environ, JOBS_ENV, default=1, minimum=1)
+        else:
+            resolved_jobs = _explicit_int("jobs", jobs, minimum=1)
+
+        if intra_jobs is _UNSET:
+            resolved_intra = _env_int(environ, INTRA_JOBS_ENV, default=1, minimum=1)
+        else:
+            resolved_intra = _explicit_int("intra_jobs", intra_jobs, minimum=1)
+
+        if chunk_size is _UNSET:
+            resolved_chunk = _env_int(environ, CHUNK_SIZE_ENV, default=0, minimum=0)
+        else:
+            resolved_chunk = _explicit_int("chunk_size", chunk_size, minimum=0)
+
+        return cls(
+            cache_dir=resolved_cache,
+            store=resolved_store,
+            jobs=resolved_jobs,
+            intra_jobs=resolved_intra,
+            chunk_size=resolved_chunk,
+            explicit=frozenset(explicit),
+        )
+
+    def override(self, **changes: Any) -> "Settings":
+        """A copy with ``changes`` applied (and recorded as explicit).
+
+        Unknown field names raise :class:`~repro.common.errors.ReproError`;
+        the same strict validation as explicit :meth:`resolve` arguments
+        applies, re-using the resolver with this instance's values as the
+        environment-free baseline.
+        """
+        fields = {"cache_dir", "store", "jobs", "intra_jobs", "chunk_size"}
+        unknown = set(changes) - fields
+        if unknown:
+            raise ReproError(
+                f"unknown settings field(s): {', '.join(sorted(unknown))}"
+            )
+        merged: dict[str, Any] = {name: getattr(self, name) for name in fields}
+        merged.update(changes)
+        resolved = Settings.resolve(env={}, **merged)
+        return replace(
+            resolved, explicit=self.explicit | frozenset(changes),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (engine/CLI trailers)."""
+        cache = self.cache_dir if self.cache_dir is not None else "-"
+        return (
+            f"store={self.store} cache_dir={cache} jobs={self.jobs} "
+            f"intra_jobs={self.intra_jobs} chunk_size={self.chunk_size}"
+        )

@@ -16,12 +16,10 @@ copies: mutating one can never corrupt later experiments.
 from __future__ import annotations
 
 from repro.common.errors import SimulationError
-from repro.common.params import OOOParams, ReferenceParams
 from repro.core.config import MachineConfig
+from repro.core.machines import create_run
 from repro.core.results import SimulationResult
 from repro.core.runner import get_engine
-from repro.ooo.machine import OOOVectorSimulator
-from repro.refsim.machine import ReferenceSimulator
 from repro.trace.records import Trace
 from repro.trace.store import TraceStore
 from repro.workloads.base import Workload
@@ -37,12 +35,11 @@ def simulate_trace(trace: Trace, config: MachineConfig) -> SimulationResult:
     """
     if len(trace) == 0:
         raise SimulationError("cannot simulate an empty trace")
-    if isinstance(config.params, ReferenceParams):
-        stats = ReferenceSimulator(config.params).run(trace)
-    elif isinstance(config.params, OOOParams):
-        stats = OOOVectorSimulator(config.params).run(trace)
-    else:  # pragma: no cover - MachineConfig only accepts the two types
-        raise TypeError(f"unsupported machine parameters: {type(config.params)!r}")
+    # machine-model registry dispatch (repro.core.machines): any registered
+    # model — including ones added by downstream code — simulates here
+    machine = create_run(config.params, trace)
+    machine.run_slice(trace)
+    stats = machine.finalise()
     return SimulationResult(
         workload=trace.name,
         config_name=config.name,
@@ -98,8 +95,12 @@ def simulate_point_chunked(
     from repro.core.runner import ExperimentPoint
     from repro.parallel import simulate_trace_chunked
 
+    trace_source = None
     if trace_store is not None:
         trace = trace_store.load_memoised(workload_name, scale)
+        # workers reload the compiled trace from the store by this locator
+        # instead of receiving pickled instruction slices per chunk
+        trace_source = (str(trace_store.cache_dir), workload_name, scale)
     else:
         trace = get_workload(workload_name, scale).trace()
     fingerprint = ExperimentPoint(workload_name, scale, config).fingerprint()
@@ -107,17 +108,27 @@ def simulate_point_chunked(
         trace, config, chunk_size=chunk_size, jobs=intra_jobs,
         speculate=speculate, chunk_store=chunk_store,
         point_fingerprint=fingerprint, pool=pool,
+        trace_source=trace_source,
     )
 
 
 def run_cached(workload_name: str, config: MachineConfig, scale: str = "small") -> SimulationResult:
     """Like :func:`run`, but memoised on (workload, scale, configuration).
 
-    The experiment harness re-uses many (workload, configuration) pairs
-    across different tables and figures; the engine's result store keeps the
-    full suite fast and, with a cache directory configured, persists results
-    on disk.  Every call returns an independent copy of the stored result.
+    .. deprecated::
+        Use :meth:`repro.api.Session.result` (or
+        :meth:`repro.api.Session.run` with a :class:`repro.api.RunRequest`
+        grid) instead; this shim resolves through the process-wide default
+        engine exactly as before and will be removed in a future major
+        version.
     """
+    import warnings
+
+    warnings.warn(
+        "run_cached() is deprecated; use repro.api.Session.result() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return get_engine().result(workload_name, config, scale)
 
 

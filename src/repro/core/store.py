@@ -2,8 +2,10 @@
 
 :class:`~repro.core.runner.ResultStore` keeps its in-memory layer and its
 defensive-copy semantics; everything that touches the filesystem lives
-behind the :class:`StoreBackend` interface defined here.  Two production
-backends ship with the repository:
+behind the :class:`StoreBackend` interface defined here.  Three production
+backends ship with the repository (the third, S3-style
+:class:`~repro.core.objectstore.ObjectStoreBackend`, lives in its own
+module):
 
 * :class:`ShardedJSONBackend` — one self-describing JSON file per result,
   bucketed into 256 ``<fingerprint[:2]>/`` shard directories so that even
@@ -17,7 +19,7 @@ backends ship with the repository:
   timeout) with one fingerprint-keyed row per result, safe for concurrent
   writers: multiple ``run-all --jobs N`` processes can share one database.
 
-Both backends store the same payload shape — ``{"version", "key",
+All backends store the same payload shape — ``{"version", "key",
 "result"}`` — under the same :meth:`ExperimentPoint.fingerprint` keys, so
 switching backends (CLI ``--store``, environment ``REPRO_STORE``) never
 changes what a cache hit means, only where the bytes live.  Corrupt or
@@ -48,7 +50,7 @@ STORE_VERSION = 1
 STORE_ENV = "REPRO_STORE"
 
 #: recognised backend kinds, in the order the CLI advertises them
-BACKEND_NAMES = ("json", "sqlite")
+BACKEND_NAMES = ("json", "sqlite", "object")
 
 
 def default_backend_kind() -> str:
@@ -73,6 +75,11 @@ def make_backend(kind: str | None, cache_dir: str | os.PathLike) -> "StoreBacken
         return ShardedJSONBackend(cache_dir)
     if kind == "sqlite":
         return SQLiteBackend(cache_dir)
+    if kind == "object":
+        # deferred: objectstore subclasses StoreBackend from this module
+        from repro.core.objectstore import ObjectStoreBackend
+
+        return ObjectStoreBackend(cache_dir)
     raise ReproError(
         f"unknown result-store backend {kind!r}; available: {', '.join(BACKEND_NAMES)}"
     )

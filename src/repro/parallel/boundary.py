@@ -132,21 +132,17 @@ def ref_quiescent(run: "_ReferenceRun") -> bool:
 
 
 def quiescent(run) -> bool:
-    """Dispatch on the run type (used by the driver)."""
-    from repro.ooo.machine import _OOORun
+    """Registry dispatch on the run's machine model (used by the driver)."""
+    from repro.core.machines import model_for_run
 
-    if isinstance(run, _OOORun):
-        return ooo_quiescent(run)
-    return ref_quiescent(run)
+    return model_for_run(run).quiescent(run)
 
 
 def anchor_of(run) -> int:
     """The cut's fetch anchor — the Δ by which a canonical chunk shifts."""
-    from repro.ooo.machine import _OOORun
+    from repro.core.machines import model_for_run
 
-    if isinstance(run, _OOORun):
-        return run.last_rename + 1
-    return run.issue_ready
+    return model_for_run(run).anchor_of(run)
 
 
 # ---------------------------------------------------------------------------
@@ -193,11 +189,9 @@ def ooo_structural(rename, predictor, loadelim) -> dict:
 
 def structural_of(run) -> dict | None:
     """Structural projection of a live run (``None`` for the reference run)."""
-    from repro.ooo.machine import _OOORun
+    from repro.core.machines import model_for_run
 
-    if isinstance(run, _OOORun):
-        return ooo_structural(run.rename, run.predictor, run.loadelim)
-    return None
+    return model_for_run(run).structural_of(run)
 
 
 def structural_digest(structural: dict | None) -> str:
@@ -212,6 +206,18 @@ def structural_digest(structural: dict | None) -> str:
 
 def apply_structural(run, structural: dict | None) -> None:
     """Seed a freshly constructed run with a predicted structural state.
+
+    Registry dispatch: the model's ``apply_structural`` hook does the work
+    (:func:`apply_ooo_structural` for the OOOVA, a no-op for the reference
+    machine, whose boundary has no structural component).
+    """
+    from repro.core.machines import model_for_run
+
+    model_for_run(run).apply_structural(run, structural)
+
+
+def apply_ooo_structural(run, structural: dict | None) -> None:
+    """Impose a predicted OOOVA structural state on a freshly built run.
 
     The run's timing state is already all-zero (it was just built), which
     *is* the canonical quiescent frame; only the stream-determined parts
@@ -393,14 +399,13 @@ def apply_chunk_ref(run, worker: dict, delta: int) -> None:
 
 
 def apply_chunk(run, worker: dict, delta: int) -> None:
-    """Dispatch on the machine kind recorded in the worker snapshot."""
-    from repro.ooo.machine import _OOORun
+    """Registry dispatch, guarded by the snapshot's machine-kind tag."""
+    from repro.core.machines import model_for_run
 
-    if isinstance(run, _OOORun):
-        if worker["kind"] != "ooo":
-            raise ValueError("cannot merge a reference chunk into an OOOVA run")
-        apply_chunk_ooo(run, worker, delta)
-    else:
-        if worker["kind"] != "ref":
-            raise ValueError("cannot merge an OOOVA chunk into a reference run")
-        apply_chunk_ref(run, worker, delta)
+    model = model_for_run(run)
+    if worker.get("kind") != model.snapshot_kind:
+        raise ValueError(
+            f"cannot merge a {worker.get('kind')!r} chunk into a "
+            f"{model.name!r} run"
+        )
+    model.apply_chunk(run, worker, delta)

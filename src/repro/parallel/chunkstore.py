@@ -9,10 +9,17 @@ cached entry is therefore exactly as trustworthy as the speculation it
 memoises — the driver still verifies quiescence and the entry digest
 against the live machine before merging it.
 
-Entries live under ``<cache-dir>/chunks/<key[:2]>/<key>.json``, next to the
-result store's shards, written atomically with unique temp names (the same
-crash-safe pattern as the trace store).  ``gc()`` drops version-stale
-entries and leftover temp files; ``python -m repro.cli gc`` calls it.
+Two implementations share the read/write contract (``get``/``put``/``gc``/
+``summary``): the sharded-directory :class:`ChunkStore` under
+``<cache-dir>/chunks/<key[:2]>/<key>.json``, written atomically with unique
+temp names (the same crash-safe pattern as the trace store), and the
+object-storage :class:`ObjectChunkStore`, which keeps the same entries as
+``chunks/…`` keys in the S3-style bucket of
+:mod:`repro.core.objectstore` — so ``--store object`` covers both the
+result and the chunk namespace with one root.  :func:`make_chunk_store`
+picks the implementation matching a result-store backend kind.  ``gc()``
+drops version-stale entries and leftover temp files;
+``python -m repro.cli gc`` calls it.
 """
 
 from __future__ import annotations
@@ -63,6 +70,20 @@ def _discard(path: Path) -> None:
         pass
 
 
+def _valid_chunk_payload(payload: object) -> bool:
+    """True for a current-version chunk entry with a snapshot dict.
+
+    The single validity rule shared by both chunk-store implementations'
+    read paths and ``gc`` sweeps, so what is served and what is kept can
+    never drift apart.
+    """
+    return (
+        isinstance(payload, dict)
+        and payload.get("version") == CHUNK_STORE_VERSION
+        and isinstance(payload.get("state"), dict)
+    )
+
+
 class ChunkStore:
     """Sharded JSON cache of worker exit states, keyed by chunk fingerprint."""
 
@@ -84,11 +105,7 @@ class ChunkStore:
         except (OSError, ValueError):
             _discard(path)
             return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("version") != CHUNK_STORE_VERSION
-            or not isinstance(payload.get("state"), dict)
-        ):
+        if not _valid_chunk_payload(payload):
             _discard(path)
             return None
         self.hits += 1
@@ -119,11 +136,7 @@ class ChunkStore:
                 payload = json.loads(path.read_text(encoding="utf-8"))
             except (OSError, ValueError):
                 payload = None
-            if (
-                isinstance(payload, dict)
-                and payload.get("version") == CHUNK_STORE_VERSION
-                and isinstance(payload.get("state"), dict)
-            ):
+            if _valid_chunk_payload(payload):
                 kept += 1
             else:
                 _discard(path)
@@ -135,3 +148,88 @@ class ChunkStore:
 
     def summary(self) -> str:
         return f"chunks: {self.hits} cached, {self.stored} stored"
+
+
+class ObjectChunkStore:
+    """Chunk memoisation in the ``chunks/`` namespace of the object store.
+
+    Same interface and payload shape as :class:`ChunkStore`, but entries
+    live as ``chunks/<key[:2]>/<key>.json`` objects next to the result
+    entries of :class:`~repro.core.objectstore.ObjectStoreBackend`, so a
+    single bucket (or bucket mount) shares both caches across machines.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        from repro.core.objectstore import CHUNK_PREFIX, OBJECT_SUBDIR, ObjectStore
+
+        self.cache_dir = Path(cache_dir)
+        self._prefix = CHUNK_PREFIX
+        self.objects = ObjectStore(self.cache_dir / OBJECT_SUBDIR)
+        self.hits = 0
+        self.stored = 0
+
+    def _object_key(self, key: str) -> str:
+        return f"{self._prefix}/{key[:2]}/{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the memoised worker exit state, or ``None``."""
+        data = self.objects.get(self._object_key(key))
+        if data is None:
+            return None
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            payload = None
+        if not _valid_chunk_payload(payload):
+            self.objects.delete(self._object_key(key))
+            return None
+        self.hits += 1
+        return payload["state"]
+
+    def put(self, key: str, state: dict, info: dict | None = None) -> None:
+        """Persist a worker exit state under the ``chunks/`` namespace."""
+        payload = {
+            "version": CHUNK_STORE_VERSION,
+            "key": info or {},
+            "state": state,
+        }
+        self.objects.put(self._object_key(key), json.dumps(payload).encode("utf-8"))
+        self.stored += 1
+
+    def gc(self) -> tuple[int, int]:
+        """Drop undecodable/version-stale entries; returns ``(kept, evicted)``."""
+        kept = 0
+        evicted = 0
+        for object_key in list(self.objects.list(self._prefix)):
+            data = self.objects.get(object_key)
+            payload = None
+            if data is not None:
+                try:
+                    payload = json.loads(data.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    payload = None
+            if _valid_chunk_payload(payload):
+                kept += 1
+            else:
+                self.objects.delete(object_key)
+                evicted += 1
+        evicted += self.objects.sweep_temp(self._prefix)
+        return kept, evicted
+
+    def summary(self) -> str:
+        return f"chunks: {self.hits} cached, {self.stored} stored"
+
+
+def make_chunk_store(
+    cache_dir: str | os.PathLike, backend_kind: str | None = None
+) -> "ChunkStore | ObjectChunkStore":
+    """The chunk store matching a result-store backend kind.
+
+    ``cache_dir`` is the *experiment* cache directory (the chunk stores
+    place their own namespace inside it).  The ``object`` backend shares
+    its bucket root with the result store; every other kind uses the
+    sharded ``chunks/`` directory.
+    """
+    if backend_kind == "object":
+        return ObjectChunkStore(cache_dir)
+    return ChunkStore(Path(cache_dir) / CHUNK_SUBDIR)

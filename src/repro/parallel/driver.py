@@ -41,7 +41,6 @@ from dataclasses import dataclass, field
 from repro.common.errors import SimulationError
 from repro.common.params import OOOParams, ReferenceParams
 from repro.common.stats import SimStats
-from repro.ooo.machine import _OOORun
 from repro.parallel.boundary import (
     anchor_of,
     apply_chunk,
@@ -52,7 +51,6 @@ from repro.parallel.boundary import (
 )
 from repro.parallel.chunkstore import ChunkStore, chunk_fingerprint
 from repro.parallel.scout import ChunkPlan, iter_chunk_plans, plan_cut_points
-from repro.refsim.machine import _ReferenceRun
 from repro.trace.records import Trace
 
 #: default partition size (instructions per chunk) for the CLI and engine
@@ -66,26 +64,51 @@ SPECULATE_MODES = ("auto", "always", "never")
 
 
 def _make_run(params, name: str = "", instructions=None):
-    """Build the right machine-run object for ``params``."""
+    """Build the registered machine-run object for ``params``.
+
+    Dispatches through the machine-model registry
+    (:mod:`repro.core.machines`): any newly registered model is chunkable
+    without touching this driver.
+    """
+    from repro.core.machines import create_run
+
     trace = Trace(name=name, instructions=list(instructions or []))
-    if isinstance(params, ReferenceParams):
-        return _ReferenceRun(params, trace)
-    if isinstance(params, OOOParams):
-        return _OOORun(params, trace)
-    raise TypeError(f"unsupported machine parameters: {type(params)!r}")
+    return create_run(params, trace)
+
+
+def _resolve_instructions(source: tuple) -> list:
+    """Materialise a chunk task's instruction slice.
+
+    ``("inline", instructions)`` carries the (pickled) slice itself — the
+    fallback when no trace store is configured.  ``("trace", trace_dir,
+    workload, scale, start, stop)`` is a locator: the worker deserialises
+    the compiled trace from the :class:`~repro.trace.store.TraceStore`
+    (memoised once per process) and slices it locally, so the pool boundary
+    carries a few strings per chunk instead of the instruction stream.
+    """
+    kind = source[0]
+    if kind == "inline":
+        return source[1]
+    if kind == "trace":
+        from repro.trace.store import TraceStore
+
+        _, trace_dir, workload, scale, start, stop = source
+        trace = TraceStore(trace_dir).load_memoised(workload, scale)
+        return trace.instructions[start:stop]
+    raise SimulationError(f"unknown chunk-instruction source {kind!r}")
 
 
 def _simulate_chunk(task: tuple) -> dict:
     """Worker entry point: simulate one chunk in the canonical frame.
 
     Top-level function so the process pool can pickle it.  ``task`` is
-    ``(params, trace_name, instructions, entry_structural)``; the return
-    value is the worker machine's full exit snapshot.
+    ``(params, trace_name, instruction_source, entry_structural)``; the
+    return value is the worker machine's full exit snapshot.
     """
-    params, name, instructions, entry_structural = task
+    params, name, source, entry_structural = task
     run = _make_run(params, name)
     apply_structural(run, entry_structural)
-    run.run_slice(instructions)
+    run.run_slice(_resolve_instructions(source))
     return run.snapshot()
 
 
@@ -129,6 +152,7 @@ class ChunkedSimulation:
         chunk_store: ChunkStore | None = None,
         point_fingerprint: str | None = None,
         pool: ProcessPoolExecutor | None = None,
+        trace_source: tuple[str, str, str] | None = None,
     ) -> None:
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
@@ -147,6 +171,10 @@ class ChunkedSimulation:
         self.chunk_store = chunk_store
         self.point_fingerprint = point_fingerprint
         self._external_pool = pool
+        #: (trace_dir, workload, scale) locator letting workers load the
+        #: compiled trace from the TraceStore instead of receiving pickled
+        #: instruction slices over the pool boundary
+        self.trace_source = trace_source
         self.report = ChunkedReport(chunk_size=chunk_size, jobs=self.jobs)
 
     # -- helpers ------------------------------------------------------------
@@ -164,8 +192,13 @@ class ChunkedSimulation:
         return self.trace.instructions[plan.start:plan.stop]
 
     def _task(self, plan: ChunkPlan) -> tuple:
-        return (self.params, self.trace.name, self._instructions(plan),
-                plan.entry_structural)
+        if self.trace_source is not None:
+            trace_dir, workload, scale = self.trace_source
+            source: tuple = ("trace", trace_dir, workload, scale,
+                             plan.start, plan.stop)
+        else:
+            source = ("inline", self._instructions(plan))
+        return (self.params, self.trace.name, source, plan.entry_structural)
 
     # -- execution ----------------------------------------------------------
 
@@ -363,6 +396,7 @@ def simulate_trace_chunked(
     chunk_store: ChunkStore | None = None,
     point_fingerprint: str | None = None,
     pool: ProcessPoolExecutor | None = None,
+    trace_source: tuple[str, str, str] | None = None,
 ):
     """Chunked counterpart of :func:`repro.core.simulator.simulate_trace`.
 
@@ -375,6 +409,7 @@ def simulate_trace_chunked(
         trace, config.params, chunk_size=chunk_size, jobs=jobs,
         speculate=speculate, chunk_store=chunk_store,
         point_fingerprint=point_fingerprint, pool=pool,
+        trace_source=trace_source,
     )
     stats = sim.run()
     result = SimulationResult(

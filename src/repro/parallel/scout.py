@@ -211,22 +211,27 @@ def plan_cut_points(trace: Trace, chunk_size: int) -> list[int]:
     return cuts
 
 
-def iter_chunk_plans(trace: Trace, params, cuts: list[int]):
-    """Yield :class:`ChunkPlan` objects lazily, one per chunk.
+def iter_reference_plans(trace: Trace, params, cuts: list[int]):
+    """Chunk plans for the reference machine (registry ``plan_chunks`` hook).
 
-    The OOOVA scout only advances as far as plans are actually consumed —
-    when the driver's adaptive backoff stops speculating after the first
-    few chunks, the (trace-length-proportional) structural pre-pass cost is
+    The reference machine's boundary is purely timing; its canonical
+    quiescent form is the same (empty) structural state at every cut.
+    """
+    bounds = list(zip(cuts, cuts[1:] + [len(trace)]))
+    digest = structural_digest(None)
+    for index, (start, stop) in enumerate(bounds):
+        yield ChunkPlan(index, start, stop, None, digest)
+
+
+def iter_ooo_plans(trace: Trace, params: OOOParams, cuts: list[int]):
+    """Scout-predicted chunk plans for the OOOVA (registry hook).
+
+    The scout only advances as far as plans are actually consumed — when
+    the driver's adaptive backoff stops speculating after the first few
+    chunks, the (trace-length-proportional) structural pre-pass cost is
     bounded by those few chunks instead of the whole trace.
     """
     bounds = list(zip(cuts, cuts[1:] + [len(trace)]))
-    if isinstance(params, ReferenceParams):
-        # the reference machine's boundary is purely timing; its canonical
-        # quiescent form is the same (empty) structural state at every cut
-        digest = structural_digest(None)
-        for index, (start, stop) in enumerate(bounds):
-            yield ChunkPlan(index, start, stop, None, digest)
-        return
     scout = StructuralScout(params)
     position = 0
     for index, (start, stop) in enumerate(bounds):
@@ -236,6 +241,19 @@ def iter_chunk_plans(trace: Trace, params, cuts: list[int]):
         structural = scout.structural()
         yield ChunkPlan(index, start, stop, structural,
                         structural_digest(structural))
+
+
+def iter_chunk_plans(trace: Trace, params, cuts: list[int]):
+    """Yield :class:`ChunkPlan` objects lazily, one per chunk.
+
+    Dispatches through the machine-model registry
+    (:mod:`repro.core.machines`), so a newly registered machine brings its
+    own planner — or inherits the conservative default, under which every
+    chunk takes the exact-replay fallback.
+    """
+    from repro.core.machines import model_for_params
+
+    return model_for_params(params).plan_chunks(trace, params, cuts)
 
 
 def plan_chunks(

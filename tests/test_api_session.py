@@ -1,0 +1,344 @@
+"""Behavioural tests for the :mod:`repro.api` façade.
+
+Covers the Session lifecycle, RunRequest grids, exhibit parity with the
+CLI, the machine-model registry, the deprecation shims (old entry points
+warn but stay behaviour-identical) and the chunk-worker trace locator.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.api import (
+    ExhibitSet,
+    MachineModel,
+    RunRequest,
+    Session,
+    Settings,
+    create_run,
+    get_machine_model,
+    machine_names,
+    model_for_params,
+    register_machine,
+)
+from repro.common.errors import ReproError
+from repro.common.params import OOOParams, ReferenceParams
+from repro.core.config import get_config, ooo_config
+from repro.core.runner import get_engine, set_engine
+from repro.core.simulator import run as run_simulation
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_engine():
+    set_engine(None)
+    yield
+    set_engine(None)
+
+
+class TestSessionLifecycle:
+    def test_context_manager_and_close(self):
+        with Session() as session:
+            assert session.store.describe() == "memory"
+        with pytest.raises(ReproError, match="closed"):
+            session.result("nasa7", "reference")
+
+    def test_kwargs_resolve_like_settings(self, tmp_path):
+        with Session(cache_dir=tmp_path, store="sqlite", jobs=2) as session:
+            assert session.settings.store == "sqlite"
+            assert session.engine.jobs == 2
+            assert session.trace_store is not None
+
+    def test_explicit_store_without_cache_dir_rejected(self):
+        with pytest.raises(ReproError, match="requires a cache directory"):
+            Session(store="sqlite")
+
+    def test_env_default_store_without_cache_dir_is_memory(self, monkeypatch):
+        from repro.core.store import STORE_ENV
+
+        monkeypatch.setenv(STORE_ENV, "sqlite")
+        with Session() as session:
+            assert session.store.describe() == "memory"
+
+    def test_memory_only_default_engine_tolerates_bogus_env_store(self, monkeypatch):
+        # pre-Settings behaviour: without a cache dir the default engine
+        # never consulted $REPRO_STORE, so a stale/typo'd value must not
+        # break purely in-memory library use
+        from repro.core.runner import CACHE_DIR_ENV
+        from repro.core.store import STORE_ENV
+
+        monkeypatch.setenv(STORE_ENV, "blockchain")
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert get_engine().store.describe() == "memory"
+        # with persistence requested the configuration error is real
+        set_engine(None)
+        monkeypatch.setenv(CACHE_DIR_ENV, "/tmp/somewhere")
+        with pytest.raises(ReproError, match="blockchain"):
+            get_engine()
+
+    def test_session_does_not_disturb_default_engine(self):
+        default = get_engine()
+        with Session() as session:
+            session.exhibits(names=("table1",))
+        assert get_engine() is default
+
+
+class TestRunRequestGrids:
+    def test_grid_matches_direct_simulation(self):
+        request = RunRequest(workloads=("nasa7",), configs=("reference", "ooo"))
+        with Session() as session:
+            grid = session.run(request)
+        assert len(grid) == 2
+        direct = run_simulation("nasa7", get_config("ooo"))
+        assert grid.get("nasa7", "ooo").to_dict() == direct.to_dict()
+        assert grid.speedup("nasa7", "ooo") == pytest.approx(
+            direct.speedup_over(run_simulation("nasa7", get_config("reference"))))
+
+    def test_duplicate_config_names_stay_addressable(self):
+        small = ooo_config(phys_vregs=9)
+        large = ooo_config(phys_vregs=64)
+        assert small.name == large.name  # the ambiguity under test
+        with Session() as session:
+            grid = session.run(RunRequest(workloads=("nasa7",),
+                                          configs=(small, large)))
+        assert grid.get("nasa7", small).cycles >= grid.get("nasa7", large).cycles
+        with pytest.raises(ReproError, match="ambiguous"):
+            grid.get("nasa7", "ooo")
+
+    def test_unknown_workload_rejected(self):
+        with Session() as session:
+            with pytest.raises(ReproError, match="unknown workload"):
+                session.run(RunRequest(workloads=("doom",)))
+
+    def test_results_are_defensive_copies(self):
+        request = RunRequest(workloads=("nasa7",), configs=("reference",))
+        with Session() as session:
+            first = session.run(request).get("nasa7", "reference")
+            first.stats.cycles = -1
+            second = session.run(request).get("nasa7", "reference")
+        assert second.cycles > 0
+
+    def test_per_request_chunking_override_is_bit_identical(self):
+        base = RunRequest(workloads=("nasa7",), configs=("reference",))
+        chunked = RunRequest(workloads=("nasa7",), configs=("reference",),
+                             chunk_size=300)
+        with Session() as session:
+            mono = session.run(base).get("nasa7", "reference")
+        with Session() as session:
+            via_chunks = session.run(chunked).get("nasa7", "reference")
+        assert mono.to_dict() == via_chunks.to_dict()
+
+    def test_to_dict_lists_every_grid_point(self):
+        small = ooo_config(phys_vregs=9)
+        large = ooo_config(phys_vregs=64)
+        with Session() as session:
+            grid = session.run(RunRequest(workloads=("nasa7",),
+                                          configs=(small, large)))
+        assert len(grid.to_dict()["nasa7"]) == 2
+
+
+class TestExhibitParityWithCLI:
+    def test_exhibit_set_data_equals_cli_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["run-all", "--exhibits", "table2,figure6",
+                     "--programs", "trfd", "--format", "json"]) == 0
+        cli_doc = json.loads(capsys.readouterr().out)
+
+        set_engine(None)
+        with Session() as session:
+            exhibits = session.exhibits(names=("table2", "figure6"),
+                                        programs=("trfd",), scale="small")
+        api_doc = json.loads(exhibits.to_json())
+        assert api_doc["exhibits"] == cli_doc["exhibits"]
+        assert api_doc["scale"] == cli_doc["scale"]
+        assert api_doc["programs"] == cli_doc["programs"]
+
+    def test_exhibit_set_text_matches_cli_blocks(self, capsys):
+        from repro.cli import main
+
+        assert main(["run-all", "--exhibits", "table1"]) == 0
+        cli_out = capsys.readouterr().out
+
+        with Session() as session:
+            exhibits = session.exhibits(names=("table1",))
+        table1 = exhibits["table1"]
+        assert table1.render() in cli_out
+        assert exhibits.render("table1") == table1.render()
+        # the full text layout embeds the same report between its rules
+        assert table1.render() in exhibits.to_text()
+
+    def test_exhibits_cache_through_session_store(self, tmp_path):
+        with Session(cache_dir=tmp_path) as session:
+            session.exhibits(names=("figure6",), programs=("trfd",))
+            assert session.engine.simulated > 0
+        with Session(cache_dir=tmp_path) as session:
+            session.exhibits(names=("figure6",), programs=("trfd",))
+            assert session.engine.simulated == 0
+            assert session.engine.disk_hits > 0
+
+    def test_exhibits_csv_has_flat_rows(self):
+        with Session() as session:
+            exhibits = session.exhibits(names=("figure6",), programs=("trfd",))
+        rows = exhibits.to_csv().splitlines()
+        assert rows[0] == "exhibit,path,value"
+        assert any(row.startswith("figure6,trfd/") for row in rows[1:])
+
+    def test_unknown_exhibit_name_rejected(self):
+        with Session() as session:
+            with pytest.raises(ReproError, match="unknown exhibit"):
+                session.exhibits(names=("figure99",))
+
+    def test_object_store_serves_warm_exhibits(self, tmp_path):
+        with Session(cache_dir=tmp_path, store="object") as session:
+            session.exhibits(names=("figure6",), programs=("trfd",))
+        with Session(cache_dir=tmp_path, store="object") as session:
+            exhibits = session.exhibits(names=("figure6",), programs=("trfd",))
+            assert session.engine.simulated == 0
+        assert isinstance(exhibits, ExhibitSet)
+
+
+class TestSimulateAndGc:
+    def test_simulate_chunked_equals_monolithic(self):
+        with Session() as session:
+            mono, report = session.simulate("nasa7", "ooo")
+            assert report is None
+            chunked, report = session.simulate("nasa7", "ooo", chunk_size=300)
+        assert report is not None and report.chunks > 1
+        assert mono.to_dict() == chunked.to_dict()
+
+    def test_simulate_unknown_program(self):
+        with Session() as session:
+            with pytest.raises(ReproError, match="unknown program"):
+                session.simulate("doom")
+
+    def test_gc_requires_cache_dir(self):
+        with Session() as session:
+            with pytest.raises(ReproError, match="cache directory"):
+                session.gc()
+
+    def test_gc_covers_all_namespaces(self, tmp_path):
+        with Session(cache_dir=tmp_path, chunk_size=300) as session:
+            session.result("nasa7", "reference")
+            collected = session.gc()
+        assert set(collected) == {"results", "traces", "chunks"}
+        assert collected["results"][0] >= 1  # the stored result was kept
+        assert collected["traces"][0] >= 1   # the memoised trace was kept
+
+
+class TestMachineRegistry:
+    def test_builtin_models_registered(self):
+        assert set(machine_names()) >= {"reference", "ooo"}
+        assert model_for_params(OOOParams()).name == "ooo"
+        assert model_for_params(ReferenceParams()).name == "reference"
+
+    def test_create_run_builds_protocol_machines(self):
+        machine = create_run(OOOParams())
+        for method in ("run_slice", "finalise", "snapshot", "restore"):
+            assert callable(getattr(machine, method))
+
+    def test_unknown_lookups_raise(self):
+        with pytest.raises(ReproError, match="unknown machine model"):
+            get_machine_model("quantum")
+        with pytest.raises(ReproError, match="no machine model registered"):
+            model_for_params(object())
+
+    def test_conflicting_registration_rejected(self):
+        class _FakeParams:
+            pass
+
+        with pytest.raises(ReproError, match="already registered"):
+            register_machine(MachineModel(
+                name="ooo", params_type=_FakeParams,
+                factory=lambda params, trace: None))
+        with pytest.raises(ReproError, match="already registered"):
+            register_machine(MachineModel(
+                name="ooo2", params_type=OOOParams,
+                factory=lambda params, trace: None))
+
+
+class TestDeprecationShims:
+    def test_configure_engine_warns_and_behaves_identically(self, tmp_path):
+        from repro.core.runner import configure_engine
+
+        with pytest.warns(DeprecationWarning, match="Session"):
+            engine = configure_engine(cache_dir=tmp_path, store="json")
+        assert get_engine() is engine
+        result = engine.result("nasa7", get_config("reference"))
+        with Session(cache_dir=tmp_path, store="json") as session:
+            assert session.engine.simulated == 0  # served from the shim's cache
+            via_session = session.result("nasa7", "reference")
+        assert via_session.to_dict() == result.to_dict()
+
+    def test_run_cached_warns_and_matches_session(self):
+        from repro.core.simulator import run_cached
+
+        with pytest.warns(DeprecationWarning, match="Session"):
+            old = run_cached("nasa7", get_config("reference"))
+        with Session() as session:
+            new = session.result("nasa7", "reference")
+        assert old.to_dict() == new.to_dict()
+
+
+class TestChunkWorkerTraceLocator:
+    def test_tasks_carry_locator_when_store_backed(self, tmp_path):
+        from repro.parallel.driver import ChunkedSimulation, _simulate_chunk
+        from repro.parallel.scout import plan_chunks
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(tmp_path / "traces")
+        store.ensure("nasa7", "small")
+        trace = store.load_memoised("nasa7", "small")
+        config = get_config("reference")
+        sim = ChunkedSimulation(
+            trace, config.params, chunk_size=300,
+            trace_source=(str(store.cache_dir), "nasa7", "small"),
+        )
+        plans = plan_chunks(trace, config.params, 300)
+        assert len(plans) > 1
+        task = sim._task(plans[1])
+        source = task[2]
+        assert source[0] == "trace"  # a locator, not pickled instructions
+        assert source[1:4] == (str(store.cache_dir), "nasa7", "small")
+        # the worker resolves the locator to exactly the plan's slice
+        snapshot = _simulate_chunk(task)
+        assert snapshot["kind"] == "ref"
+
+    def test_inline_fallback_without_store(self):
+        from repro.parallel.driver import ChunkedSimulation
+        from repro.parallel.scout import plan_chunks
+        from repro.workloads.registry import get_workload
+
+        trace = get_workload("nasa7", "small").trace()
+        config = get_config("reference")
+        sim = ChunkedSimulation(trace, config.params, chunk_size=300)
+        plans = plan_chunks(trace, config.params, 300)
+        source = sim._task(plans[0])[2]
+        assert source[0] == "inline"
+        assert source[1] == trace.instructions[plans[0].start:plans[0].stop]
+
+    def test_store_backed_chunked_point_equals_monolithic(self, tmp_path):
+        from repro.core.simulator import simulate_point, simulate_point_chunked
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(tmp_path / "traces")
+        config = get_config("ooo")
+        mono = simulate_point("nasa7", "small", config)
+        chunked, report = simulate_point_chunked(
+            "nasa7", "small", config, chunk_size=300, intra_jobs=2,
+            trace_store=store,
+        )
+        assert report.chunks > 1
+        assert mono.to_dict() == chunked.to_dict()
+
+
+class TestSettingsSessionIntegration:
+    def test_settings_object_reuse(self, tmp_path):
+        settings = Settings.resolve(cache_dir=tmp_path, env={})
+        with Session(settings) as first:
+            first.result("nasa7", "reference")
+        with Session(settings, jobs=2) as second:
+            assert second.engine.jobs == 2
+            assert second.engine.simulated == 0 or second.engine.disk_hits >= 0
+            second.result("nasa7", "reference")
+            assert second.engine.simulated == 0  # warm via shared cache dir

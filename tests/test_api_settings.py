@@ -1,0 +1,135 @@
+"""Precedence and validation tests for :class:`repro.api.Settings`.
+
+The contract under test: **explicit kwargs > environment > defaults**,
+with explicitly passed falsy values (``0``, ``None``) beating a set
+environment variable, strict validation of explicit values, and the
+engine's historical tolerance (fallback/clamping) for sloppy environment
+values.
+"""
+
+import pytest
+
+from repro.api import (
+    CACHE_DIR_ENV,
+    CHUNK_SIZE_ENV,
+    INTRA_JOBS_ENV,
+    JOBS_ENV,
+    Settings,
+)
+from repro.common.errors import ReproError
+from repro.core.store import STORE_ENV
+
+
+class TestDefaults:
+    def test_empty_environment_gives_documented_defaults(self):
+        settings = Settings.resolve(env={})
+        assert settings.cache_dir is None
+        assert settings.store == "json"
+        assert settings.jobs == 1
+        assert settings.intra_jobs == 1
+        assert settings.chunk_size == 0
+        assert settings.explicit == frozenset()
+
+    def test_resolve_defaults_to_process_environment(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert Settings.resolve().jobs == 7
+
+
+class TestEnvironmentLayer:
+    def test_env_values_apply_when_not_explicit(self):
+        env = {
+            CACHE_DIR_ENV: "/tmp/cache",
+            STORE_ENV: "sqlite",
+            JOBS_ENV: "4",
+            INTRA_JOBS_ENV: "2",
+            CHUNK_SIZE_ENV: "512",
+        }
+        settings = Settings.resolve(env=env)
+        assert settings.cache_dir == "/tmp/cache"
+        assert settings.store == "sqlite"
+        assert settings.jobs == 4
+        assert settings.intra_jobs == 2
+        assert settings.chunk_size == 512
+        assert settings.explicit == frozenset()
+
+    def test_empty_env_cache_dir_means_disabled(self):
+        assert Settings.resolve(env={CACHE_DIR_ENV: ""}).cache_dir is None
+
+    @pytest.mark.parametrize("bad", ["abc", "1.5", " "])
+    def test_unparsable_env_integers_fall_back_to_defaults(self, bad):
+        env = {JOBS_ENV: bad, INTRA_JOBS_ENV: bad, CHUNK_SIZE_ENV: bad}
+        settings = Settings.resolve(env=env)
+        assert (settings.jobs, settings.intra_jobs, settings.chunk_size) == (1, 1, 0)
+
+    def test_out_of_range_env_integers_are_clamped(self):
+        env = {JOBS_ENV: "0", INTRA_JOBS_ENV: "-3", CHUNK_SIZE_ENV: "-100"}
+        settings = Settings.resolve(env=env)
+        assert (settings.jobs, settings.intra_jobs, settings.chunk_size) == (1, 1, 0)
+
+    def test_invalid_env_store_is_an_error(self):
+        with pytest.raises(ReproError, match="blockchain"):
+            Settings.resolve(env={STORE_ENV: "blockchain"})
+
+    def test_object_store_is_a_recognised_env_value(self):
+        assert Settings.resolve(env={STORE_ENV: "object"}).store == "object"
+
+
+class TestExplicitLayer:
+    def test_explicit_beats_environment(self):
+        env = {JOBS_ENV: "4", STORE_ENV: "sqlite", CACHE_DIR_ENV: "/tmp/env"}
+        settings = Settings.resolve(
+            jobs=2, store="json", cache_dir="/tmp/mine", env=env)
+        assert settings.jobs == 2
+        assert settings.store == "json"
+        assert settings.cache_dir == "/tmp/mine"
+        assert settings.explicit == {"jobs", "store", "cache_dir"}
+
+    def test_falsy_explicit_chunk_size_beats_environment(self):
+        settings = Settings.resolve(chunk_size=0, env={CHUNK_SIZE_ENV: "512"})
+        assert settings.chunk_size == 0
+        assert "chunk_size" in settings.explicit
+
+    def test_explicit_none_cache_dir_beats_environment(self):
+        settings = Settings.resolve(
+            cache_dir=None, env={CACHE_DIR_ENV: "/tmp/persist"})
+        assert settings.cache_dir is None
+        assert "cache_dir" in settings.explicit
+
+    def test_explicit_empty_cache_dir_normalises_to_none(self):
+        assert Settings.resolve(cache_dir="", env={}).cache_dir is None
+
+    def test_path_like_cache_dir_accepted(self, tmp_path):
+        assert Settings.resolve(cache_dir=tmp_path, env={}).cache_dir == str(tmp_path)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"jobs": 0}, {"jobs": -1}, {"intra_jobs": 0}, {"chunk_size": -1},
+         {"jobs": "nope"}, {"store": "blockchain"}],
+    )
+    def test_invalid_explicit_values_raise(self, kwargs):
+        with pytest.raises(ReproError):
+            Settings.resolve(env={}, **kwargs)
+
+    def test_explicit_store_does_not_consult_environment(self):
+        # a bogus environment value must not break an explicit choice
+        settings = Settings.resolve(store="json", env={STORE_ENV: "blockchain"})
+        assert settings.store == "json"
+
+
+class TestOverride:
+    def test_override_records_explicitness(self):
+        base = Settings.resolve(env={JOBS_ENV: "4"})
+        derived = base.override(chunk_size=256)
+        assert derived.jobs == 4  # carried over, still env-derived
+        assert derived.chunk_size == 256
+        assert "chunk_size" in derived.explicit
+
+    def test_override_validates(self):
+        with pytest.raises(ReproError):
+            Settings.resolve(env={}).override(jobs=0)
+        with pytest.raises(ReproError, match="unknown settings field"):
+            Settings.resolve(env={}).override(velocity=11)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Settings.resolve(env={}).jobs = 9  # type: ignore[misc]

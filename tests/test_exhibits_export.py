@@ -178,7 +178,7 @@ class TestCLIFormats:
         assert "engine: 0 simulated" in warm_out
         assert "store=sqlite" in warm_out
 
-    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    @pytest.mark.parametrize("backend", ["json", "sqlite", "object"])
     def test_gc_subcommand_reports_counts(self, tmp_path, capsys, backend):
         from test_store_backends import _corrupt_entry
 

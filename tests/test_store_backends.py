@@ -52,10 +52,21 @@ def _entry_file(cache_dir, point):
     return files[0]
 
 
+def _object_entry_file(cache_dir, point):
+    from repro.core.objectstore import OBJECT_SUBDIR, RESULT_PREFIX
+
+    key = point.fingerprint()
+    path = cache_dir / OBJECT_SUBDIR / RESULT_PREFIX / key[:2] / f"{key}.json"
+    assert path.is_file()
+    return path
+
+
 def _corrupt_entry(backend_kind, cache_dir, point, text="{truncat"):
     """Damage the stored payload for ``point`` in a backend-appropriate way."""
     if backend_kind == "json":
         _entry_file(cache_dir, point).write_text(text, encoding="utf-8")
+    elif backend_kind == "object":
+        _object_entry_file(cache_dir, point).write_text(text, encoding="utf-8")
     else:
         with sqlite3.connect(cache_dir / SQLiteBackend.DB_NAME) as conn:
             conn.execute(
