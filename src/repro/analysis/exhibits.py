@@ -15,6 +15,7 @@ from repro.analysis.report import (
     format_table,
     report_latency_tolerance,
     report_lost_decode,
+    report_machine_comparison,
     report_port_idle,
     report_simple_curves,
     report_speedup_curves,
@@ -133,6 +134,11 @@ EXHIBITS: tuple[Exhibit, ...] = (
         "figure13", "Figure 13: memory-traffic reduction",
         lambda programs, scale: experiments.figure13_traffic_reduction(programs, scale=scale),
         report_traffic_reduction,
+    ),
+    Exhibit(
+        "table4", "Table 4: machine comparison across the registry",
+        lambda programs, scale: experiments.table4_machine_comparison(programs, scale=scale),
+        report_machine_comparison,
     ),
 )
 

@@ -151,6 +151,31 @@ def report_lost_decode(results: Mapping[str, Mapping[int, Mapping[str, object]]]
     )
 
 
+def report_machine_comparison(results: Mapping[str, Mapping[str, Mapping]]) -> str:
+    """Table 4-style cross-machine comparison (one row per program)."""
+    headers = ["program", "REF", "INORDER", "OOOVA",
+               "inorder speedup", "ooo speedup",
+               "idle REF%", "idle INO%", "idle OOO%"]
+    rows = []
+    for name, row in results.items():
+        rows.append([
+            name,
+            row["cycles"]["REF"],
+            row["cycles"]["INORDER"],
+            row["cycles"]["OOOVA"],
+            row["speedup"]["INORDER"],
+            row["speedup"]["OOOVA"],
+            100.0 * row["port_idle"]["REF"],
+            100.0 * row["port_idle"]["INORDER"],
+            100.0 * row["port_idle"]["OOOVA"],
+        ])
+    return format_table(
+        headers, rows,
+        title="Table 4: cycles by machine organisation "
+              "(in-order, in-order+renaming, out-of-order)",
+    )
+
+
 def report_traffic_reduction(results: Mapping[str, Mapping[str, float]]) -> str:
     """Figure 13-style traffic-reduction ratios."""
     headers = ["program", "SLE", "SLE+VLE"]

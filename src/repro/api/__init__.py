@@ -38,9 +38,11 @@ deliberate, removals are breaking.
 
 from repro.api.machine import (
     Machine,
+    MachineConfig,
     MachineModel,
     create_run,
     get_machine_model,
+    machine_config,
     machine_names,
     model_for_params,
     register_machine,
@@ -70,6 +72,7 @@ __all__ = [
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
     "Machine",
+    "MachineConfig",
     "MachineModel",
     "RunRequest",
     "RunResult",
@@ -79,6 +82,7 @@ __all__ = [
     "create_run",
     "engine_summary_dict",
     "get_machine_model",
+    "machine_config",
     "machine_names",
     "model_for_params",
     "register_machine",

@@ -14,6 +14,7 @@ driver code changes required.
 
 from __future__ import annotations
 
+from repro.core.config import MachineConfig, machine_config
 from repro.core.machines import (
     Machine,
     MachineModel,
@@ -26,9 +27,11 @@ from repro.core.machines import (
 
 __all__ = [
     "Machine",
+    "MachineConfig",
     "MachineModel",
     "create_run",
     "get_machine_model",
+    "machine_config",
     "machine_names",
     "model_for_params",
     "register_machine",

@@ -43,8 +43,10 @@ BENCH_SCHEMA = 1
 
 #: configurations benchmarked by default: the two extremes of the paper —
 #: the in-order reference machine (quiesces often: chunk speculation wins)
-#: and the fully loaded OOOVA (rarely quiesces: exact-replay fallback)
-DEFAULT_CONFIGS = ("reference", "ooo-late-sle-vle")
+#: and the fully loaded OOOVA (rarely quiesces: exact-replay fallback) —
+#: plus the registered in-order-issue + renaming intermediate, which keeps
+#: the refactored component kernel's hot path under the regression gate
+DEFAULT_CONFIGS = ("reference", "inorder", "ooo-late-sle-vle")
 
 #: rows with a monolithic wall below this are reported but never gated
 #: (millisecond-scale timings are too noisy for a regression verdict)

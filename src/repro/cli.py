@@ -41,7 +41,14 @@ import time
 from typing import Any, Sequence
 
 from repro.analysis.exhibits import EXHIBIT_NAMES
-from repro.api import SCALE_ALIASES, ExhibitSet, Session, Settings
+from repro.api import (
+    SCALE_ALIASES,
+    ExhibitSet,
+    Session,
+    Settings,
+    machine_config,
+    machine_names,
+)
 from repro.api.request import split_names
 from repro.common.errors import ReproError
 from repro.core.store import BACKEND_NAMES
@@ -84,8 +91,12 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         "simulate", help="simulate one (program, configuration) point")
     simulate.add_argument("--program", required=True, metavar="NAME",
                           help="benchmark program (see `list`)")
-    simulate.add_argument("--config", default="ooo", metavar="NAME",
+    simulate.add_argument("--config", default=None, metavar="NAME",
                           help="machine configuration name (default: ooo)")
+    simulate.add_argument("--machine", default=None, metavar="NAME",
+                          help="registered machine model to simulate with its "
+                               "default parameters (see `list`; alternative "
+                               "to --config)")
     simulate.add_argument("--scale", choices=sorted(SCALE_ALIASES),
                           default="small", help="workload scale")
     simulate.add_argument("--intra-jobs", type=int, default=None, metavar="N",
@@ -130,6 +141,7 @@ def _session_settings(args: argparse.Namespace) -> Settings:
 def _cmd_list() -> int:
     print("exhibits:", ", ".join(EXHIBIT_NAMES))
     print("programs:", ", ".join(WORKLOAD_NAMES))
+    print("machines:", ", ".join(machine_names()))
     print("scales:  ", ", ".join(sorted(SCALE_ALIASES)))
     print("stores:  ", ", ".join(BACKEND_NAMES))
     print("formats: ", ", ".join(FORMATS))
@@ -159,7 +171,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return _error("--intra-jobs must be at least 1")
     if args.chunk_size is not None and args.chunk_size < 0:
         return _error("--chunk-size must be non-negative")
+    if args.machine is not None and args.config is not None:
+        return _error("--machine and --config are mutually exclusive")
     try:
+        if args.machine is not None:
+            # any registered machine model, at its default parameters
+            config: Any = machine_config(args.machine)
+        else:
+            config = args.config if args.config is not None else "ooo"
         session = Session(_session_settings(args))
     except ReproError as exc:
         return _error(exc)
@@ -167,7 +186,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         started = time.perf_counter()
         try:
             result, report = session.simulate(
-                args.program, args.config, scale=args.scale)
+                args.program, config, scale=args.scale)
         except ReproError as exc:
             return _error(exc)
         elapsed = time.perf_counter() - started

@@ -18,9 +18,10 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.common.intervals import BusyTracker
+from repro.machine.component import ComponentBase
 
 
-class GapResource:
+class GapResource(ComponentBase):
     """A resource that can serve one operation at a time, with gap filling.
 
     Reservations are kept as a sorted list of disjoint ``[start, end)``
@@ -73,6 +74,29 @@ class GapResource:
         self._ends = [int(pair[1]) for pair in state["busy"]]
         self.tracker = BusyTracker.from_pairs(self.name, state["tracker"])
 
+    def reset(self) -> None:
+        """Return to the freshly constructed (idle) state."""
+        self._starts = []
+        self._ends = []
+        self.tracker = BusyTracker(self.name)
+
+    def quiescent(self, anchor: int) -> bool:
+        """True when no reservation extends past ``anchor``."""
+        return not self._ends or self._ends[-1] <= anchor
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Append a worker's (shifted) reservations after the parent's own.
+
+        The parent's old intervals all end ``<= delta`` and the worker's
+        shifted intervals all start ``>= delta``, so order and disjointness
+        are preserved without re-sorting.
+        """
+        for start, end in state["busy"]:
+            self._starts.append(int(start) + delta)
+            self._ends.append(int(end) + delta)
+        for start, end in state["tracker"]:
+            self.tracker.add(int(start) + delta, int(end) + delta)
+
     def _find_start(self, earliest: int, duration: int) -> int:
         starts, ends = self._starts, self._ends
         idx = bisect_left(ends, earliest)
@@ -103,7 +127,7 @@ class GapResource:
         ends.insert(idx, end)
 
 
-class PipelinedResource:
+class PipelinedResource(ComponentBase):
     """A fully pipelined unit accepting at most ``width`` new operations/cycle."""
 
     def __init__(self, name: str = "", width: int = 1) -> None:
@@ -137,9 +161,29 @@ class PipelinedResource:
         self._slots = {int(cycle): int(count) for cycle, count in state["slots"]}
         self.operations = int(state["operations"])
 
+    def reset(self) -> None:
+        """Return to the freshly constructed (idle) state."""
+        self._slots = {}
+        self.operations = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        """True when no issue slot is claimed past ``anchor``."""
+        return not self._slots or max(self._slots) <= anchor
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Replace the slots with the worker's (shifted); counters add.
+
+        The parent's old issue slots all sit at cycles ``<= delta`` and are
+        dominated; only the worker's shifted slots can matter again.
+        """
+        self._slots = {
+            int(cycle) + delta: int(count) for cycle, count in state["slots"]
+        }
+        self.operations += int(state["operations"])
+
 
 @dataclass
-class InOrderPipe:
+class InOrderPipe(ComponentBase):
     """An in-order pipeline stage sequence processing one instruction per cycle.
 
     Used for the OOOVA memory pipeline (Issue/RF, Range, Dependence): entries
@@ -164,3 +208,15 @@ class InOrderPipe:
 
     def restore(self, state: dict) -> None:
         self.last_exit = int(state["last_exit"])
+
+    def reset(self) -> None:
+        self.last_exit = -1
+
+    def quiescent(self, anchor: int) -> bool:
+        """The pipe may run ``depth`` cycles past the anchor.
+
+        Traversal enters at ``rename + 1`` and exits ``depth`` stages
+        later, so ``last_exit`` up to ``anchor + depth`` is still dominated
+        by post-anchor traffic.
+        """
+        return self.last_exit <= anchor + self.depth

@@ -5,6 +5,9 @@ configurations; this module gives them stable names so experiments, tests
 and examples all talk about the same machines:
 
 * ``reference``            — the in-order Convex C3400 model (Section 2.1);
+* ``inorder``              — the registered intermediate design point:
+  the OOOVA front end (renaming, reorder buffer, queues, prediction) with
+  strict in-order, one-per-cycle issue (see :mod:`repro.machine.inorder`);
 * ``ooo``                  — the OOOVA with early commit (Section 2.2);
 * ``ooo-late``             — the OOOVA with precise traps (late commit,
   stores at the head of the reorder buffer; Section 5);
@@ -92,10 +95,59 @@ def ooo_config(
     return MachineConfig("-".join(name_parts), params)
 
 
+def inorder_config(
+    phys_vregs: int = 16,
+    latency: int = DEFAULT_LATENCY,
+    queue_slots: int = 16,
+) -> MachineConfig:
+    """The in-order-issue + renaming intermediate machine.
+
+    Same resources as the early-commit OOOVA (so the ``reference`` →
+    ``inorder`` → ``ooo`` comparison isolates the issue policy), built on
+    the registered :class:`repro.machine.inorder.InOrderParams`.
+    """
+    from repro.machine.inorder import InOrderParams
+
+    params = InOrderParams(
+        num_phys_vregs=phys_vregs,
+        queue_slots=queue_slots,
+    ).with_memory_latency(latency)
+    return MachineConfig("inorder", params)
+
+
+def machine_config(name: str, latency: int = DEFAULT_LATENCY) -> MachineConfig:
+    """A default configuration for any registered machine model.
+
+    Standard configuration names resolve through :func:`get_config`; any
+    other name is looked up in the machine-model registry and built from
+    its parameter type's defaults (honouring ``with_memory_latency`` when
+    the type provides it) — so ``--machine mymodel`` works for third-party
+    registrations too.
+    """
+    try:
+        return get_config(name, latency)
+    except ConfigurationError:
+        pass
+    from repro.core.machines import get_machine_model
+
+    model = get_machine_model(name)
+    try:
+        params = model.params_type()
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"machine {name!r} has no default parameters; "
+            "build a MachineConfig with explicit parameters instead"
+        ) from exc
+    if hasattr(params, "with_memory_latency"):
+        params = params.with_memory_latency(latency)
+    return MachineConfig(model.name, params)
+
+
 def standard_configs(latency: int = DEFAULT_LATENCY) -> dict[str, MachineConfig]:
-    """The five named configurations used throughout the evaluation."""
+    """The six named configurations used throughout the evaluation."""
     return {
         "reference": reference_config(latency),
+        "inorder": inorder_config(latency=latency),
         "ooo": ooo_config(latency=latency),
         "ooo-late": ooo_config(latency=latency, commit_model=CommitModel.LATE),
         "ooo-late-sle": ooo_config(

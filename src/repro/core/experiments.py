@@ -28,6 +28,7 @@ from repro.core.config import (
     MachineConfig,
     REFERENCE_LATENCY_SWEEP,
     REGISTER_SWEEP,
+    inorder_config,
     ooo_config,
     reference_config,
 )
@@ -258,6 +259,54 @@ def figure8_latency_tolerance(
             ooo_curve[latency] = grid(name, ooo_configs[latency]).cycles
             ideal_curve[latency] = reference.stats.ideal_cycles()
         results[name] = {"REF": ref_curve, "OOOVA": ooo_curve, "IDEAL": ideal_curve}
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Machine comparison across the registry (Table 4)
+# ---------------------------------------------------------------------------
+
+
+def table4_machine_comparison(
+    programs: Iterable[str] | None = None,
+    latency: int = DEFAULT_LATENCY,
+    phys_vregs: int = 16,
+    scale: str = "small",
+    engine: ExperimentEngine | None = None,
+) -> dict[str, dict[str, Mapping]]:
+    """Table 4: the three registered machine organisations, side by side.
+
+    For every program: cycles, speedup over the reference machine and
+    memory-port idle fraction on the in-order reference machine, the
+    in-order-issue + renaming intermediate (``inorder``, registered through
+    the machine-model registry) and the out-of-order OOOVA, all at the same
+    memory latency and (where applicable) the same register/queue
+    resources.  The ``inorder`` column separates how much of the OOOVA's
+    win comes from renaming alone and how much needs out-of-order issue.
+    """
+    names = _programs(programs)
+    configs = {
+        "REF": reference_config(latency),
+        "INORDER": inorder_config(phys_vregs=phys_vregs, latency=latency),
+        "OOOVA": ooo_config(phys_vregs=phys_vregs, latency=latency),
+    }
+    grid = _Grid("table4", names, tuple(configs.values()), scale, engine)
+    results: dict[str, dict[str, Mapping]] = {}
+    for name in names:
+        reference = grid(name, configs["REF"])
+        cycles = {label: grid(name, config).cycles for label, config in configs.items()}
+        results[name] = {
+            "cycles": cycles,
+            "speedup": {
+                label: grid(name, config).speedup_over(reference)
+                for label, config in configs.items()
+                if label != "REF"
+            },
+            "port_idle": {
+                label: grid(name, config).stats.memory_port_idle_fraction()
+                for label, config in configs.items()
+            },
+        }
     return results
 
 

@@ -30,7 +30,7 @@ simulator and the chunked driver at module load).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -175,6 +175,11 @@ def register_machine(model: MachineModel) -> MachineModel:
     parameter type matches (so tests can stub hooks); a name collision
     across different parameter types is an error, as is a second model
     claiming an already-registered parameter type under a new name.
+
+    The model's parameter type is also registered as a serialisation kind
+    (:func:`repro.common.params.register_params_kind`) so dataclass
+    parameters of registered machines round-trip through the result store
+    without any per-machine serialisation code.
     """
     _ensure_builtin()
     existing = _REGISTRY.get(model.name)
@@ -189,6 +194,9 @@ def register_machine(model: MachineModel) -> MachineModel:
                 f"machine parameters {model.params_type.__name__} are already "
                 f"registered as {other.name!r}"
             )
+    from repro.common.params import register_params_kind
+
+    register_params_kind(model.name, model.params_type)
     _REGISTRY[model.name] = model
     return model
 
@@ -238,12 +246,67 @@ def create_run(params: Any, trace: Optional[Trace] = None, name: str = "") -> Ma
     return model_for_params(params).factory(params, trace)
 
 
+def _kernel_quiescent(run: Any) -> bool:
+    """Kernel hook: the run derives quiescence from its components."""
+    return bool(run.quiescent())
+
+
+def _kernel_anchor(run: Any) -> int:
+    """Kernel hook: the run knows its own fetch anchor."""
+    return int(run.chunk_anchor())
+
+
+def _kernel_structural(run: Any) -> Optional[dict]:
+    """Kernel hook: the run composes its components' structural shares."""
+    return run.structural()
+
+
+def _kernel_apply_structural(run: Any, structural: Optional[dict]) -> None:
+    """Kernel hook: the run seeds its components with a predicted boundary."""
+    run.seed_structural(structural)
+
+
+def _kernel_apply_chunk(run: Any, worker: dict, delta: int) -> None:
+    """Kernel hook: each component absorbs its share of the worker state."""
+    run.absorb_chunk(worker, delta)
+
+
+def staged_machine_model(
+    name: str,
+    params_type: type,
+    factory: Callable[[Any, Trace], Machine],
+    plan_chunks: Callable[[Trace, Any, list], Iterator["ChunkPlan"]],
+) -> MachineModel:
+    """A :class:`MachineModel` whose chunking hooks are kernel-derived.
+
+    Machines built on :class:`repro.machine.core.StagedMachine` carry
+    their own quiescence test, fetch anchor, structural projection and
+    chunk merge — all derived from their component registry — so the model
+    entry only has to say how to build the run and how to plan chunks.
+    """
+    return MachineModel(
+        name=name,
+        params_type=params_type,
+        factory=factory,
+        snapshot_kind=name,
+        quiescent=_kernel_quiescent,
+        anchor_of=_kernel_anchor,
+        structural_of=_kernel_structural,
+        apply_structural=_kernel_apply_structural,
+        apply_chunk=_kernel_apply_chunk,
+        plan_chunks=plan_chunks,
+    )
+
+
 def _ensure_builtin() -> None:
-    """Register the paper's two machines on first registry use.
+    """Register the built-in machines on first registry use.
 
     Deferred so that importing this module stays cheap and cycle-free: the
-    hooks pull in the full OOOVA/reference machines and the chunk-boundary
-    machinery, which themselves import large parts of the package.
+    hooks pull in the full machine models and the chunk-boundary
+    machinery, which themselves import large parts of the package.  The
+    paper's two machines seed the registry directly; the ``inorder``
+    intermediate (in-order issue *with* renaming) goes through the public
+    :func:`register_machine` path — the same path third-party models use.
     """
     global _BUILTIN_REGISTERED
     if _BUILTIN_REGISTERED:
@@ -251,32 +314,23 @@ def _ensure_builtin() -> None:
     _BUILTIN_REGISTERED = True
 
     from repro.common.params import OOOParams, ReferenceParams
+    from repro.machine.inorder import inorder_model
     from repro.ooo.machine import _OOORun
-    from repro.parallel import boundary, scout
+    from repro.parallel import scout
     from repro.refsim.machine import _ReferenceRun
 
-    _REGISTRY["reference"] = MachineModel(
+    reference = staged_machine_model(
         name="reference",
         params_type=ReferenceParams,
         factory=lambda params, trace: _ReferenceRun(params, trace),
-        snapshot_kind="ref",
-        quiescent=boundary.ref_quiescent,
-        anchor_of=lambda run: run.issue_ready,
-        structural_of=_no_structural,
-        apply_structural=_apply_no_structural,
-        apply_chunk=boundary.apply_chunk_ref,
         plan_chunks=scout.iter_reference_plans,
     )
-    _REGISTRY["ooo"] = MachineModel(
+    # the historical snapshot tag predates the registry; keep caches valid
+    _REGISTRY["reference"] = replace(reference, snapshot_kind="ref")
+    _REGISTRY["ooo"] = staged_machine_model(
         name="ooo",
         params_type=OOOParams,
         factory=lambda params, trace: _OOORun(params, trace),
-        snapshot_kind="ooo",
-        quiescent=boundary.ooo_quiescent,
-        anchor_of=lambda run: run.last_rename + 1,
-        structural_of=lambda run: boundary.ooo_structural(
-            run.rename, run.predictor, run.loadelim),
-        apply_structural=boundary.apply_ooo_structural,
-        apply_chunk=boundary.apply_chunk_ooo,
         plan_chunks=scout.iter_ooo_plans,
     )
+    register_machine(inorder_model())

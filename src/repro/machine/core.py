@@ -1,0 +1,264 @@
+"""The staged-execution machine kernel: :class:`StagedMachine`.
+
+Both of the paper's timing models — and any model registered through
+:mod:`repro.core.machines` that wants the same plumbing — share one
+execution shape: instructions stream through a front end (*decode*), are
+executed by a per-instruction-class handler (*dispatch*), and retire
+through a back end (*retire*).  All mutable state lives in named
+:class:`~repro.machine.component.MachineComponent`\\ s plus a handful of
+scalar cycle counters, so a machine is *declared* rather than hand-wired:
+
+* ``DISPATCH`` maps :class:`~repro.isa.opcodes.InstrKind` to the handler
+  method run for that instruction class (``DEFAULT_HANDLER`` catches the
+  rest);
+* ``SNAPSHOT_SCALARS`` names the scalar state fields (with their reset
+  values in ``SCALAR_DEFAULTS``);
+* components are attached with :meth:`register_component`.
+
+From those declarations the kernel derives ``snapshot``/``restore``/
+``reset``/``digest``, the component side of chunk-cut quiescence, the
+structural projection and the chunk-merge (``absorb_chunk``) used by the
+chunked simulator — state that the two machines, the structural scout and
+the boundary module previously maintained in triplicate by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.stats import SimStats
+from repro.isa.opcodes import InstrKind, Opcode
+from repro.machine.component import state_digest
+from repro.trace.records import DynInstr, Trace
+
+#: a per-instruction-class handler: ``(instruction, decode context) -> result``
+Handler = Callable[[DynInstr, Any], Any]
+
+
+class StagedMachine:
+    """Base class of component-declared, dispatch-table-driven machines.
+
+    Subclasses set the class-level declarations below, attach their
+    components in ``__init__`` (after calling ``super().__init__``) and
+    implement the dispatch handlers plus :meth:`finalise`.  Everything the
+    chunked simulator needs — snapshotting, quiescence, structural
+    projection, chunk merging — is then derived from the declarations.
+    """
+
+    #: the ``snapshot()["kind"]`` tag of this machine's snapshots
+    KIND: str = ""
+    #: scalar state fields included in snapshots, in snapshot order
+    SNAPSHOT_SCALARS: Tuple[str, ...] = ()
+    #: reset value per scalar field (missing fields default to 0)
+    SCALAR_DEFAULTS: Mapping[str, int] = {}
+    #: scalar fields replaced by the worker's value shifted by Δ on absorb
+    ABSORB_SHIFT: Tuple[str, ...] = ()
+    #: scalar fields merged with ``max(parent, worker + Δ)`` on absorb
+    ABSORB_MAX: Tuple[str, ...] = ("horizon",)
+    #: instruction-class dispatch table: kind -> handler method name
+    DISPATCH: Mapping[InstrKind, str] = {}
+    #: handler method name for kinds absent from :attr:`DISPATCH`
+    DEFAULT_HANDLER: str = ""
+
+    #: latest cycle any completed work has reached (every machine tracks it)
+    horizon: int
+
+    def __init__(self, params: Any, trace: Trace) -> None:
+        self.params = params
+        self.trace = trace
+        self.lat = getattr(params, "latencies", None)
+        self.horizon = 0
+        self.stats = SimStats()
+        self._components: Dict[str, Any] = {}
+        self._handlers: Dict[InstrKind, Handler] = {
+            kind: getattr(self, name) for kind, name in self.DISPATCH.items()
+        }
+        self._default_handler: Optional[Handler] = (
+            getattr(self, self.DEFAULT_HANDLER) if self.DEFAULT_HANDLER else None
+        )
+        for name in self.SNAPSHOT_SCALARS:
+            setattr(self, name, self.SCALAR_DEFAULTS.get(name, 0))
+
+    # -- component registry ---------------------------------------------------
+
+    def register_component(self, name: str, component: Any) -> Any:
+        """Attach ``component`` under ``name`` (its snapshot key) and return it.
+
+        ``None`` is allowed — it declares an optional component that this
+        configuration does not instantiate (e.g. the load-elimination unit
+        when elimination is off); it snapshots as ``None``.
+        """
+        reserved = {"kind", "stats"} | set(self.SNAPSHOT_SCALARS)
+        if name in reserved:
+            raise ReproError(
+                f"component name {name!r} collides with a reserved snapshot key"
+            )
+        if name in self._components:
+            raise ReproError(f"machine component {name!r} is already registered")
+        self._components[name] = component
+        return component
+
+    @property
+    def components(self) -> Mapping[str, Any]:
+        """The registered components, keyed by snapshot name."""
+        return dict(self._components)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self) -> SimStats:
+        """Run the whole trace and return the final statistics."""
+        self.run_slice(self.trace)
+        return self.finalise()
+
+    def run_slice(self, instructions: Iterable[DynInstr]) -> None:
+        """Process ``instructions`` (any iterable of :class:`DynInstr`).
+
+        State carries over between calls, so a simulation can be split into
+        resumable segments: ``run_slice`` each segment in order, then
+        :meth:`finalise` once.  The chunked simulator
+        (:mod:`repro.parallel`) also snapshots/restores the state between
+        slices to stitch independently simulated chunks back together.
+        """
+        handlers = self._handlers
+        default = self._default_handler
+        for dyn in instructions:
+            ctx = self.decode(dyn)
+            handler = handlers.get(dyn.kind, default)
+            if handler is None:
+                raise ReproError(
+                    f"machine {self.KIND!r} has no handler for {dyn.kind}"
+                )
+            result = handler(dyn, ctx)
+            self.retire(dyn, ctx, result)
+
+    def decode(self, dyn: DynInstr) -> Any:
+        """Front-end stage run before dispatch (default: nothing)."""
+        return None
+
+    def retire(self, dyn: DynInstr, ctx: Any, result: Any) -> None:
+        """Back-end stage run after the class handler (default: nothing)."""
+
+    def finalise(self) -> SimStats:
+        """Derive the final :class:`SimStats` from the accumulated state."""
+        raise NotImplementedError
+
+    # -- derived state plumbing ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-compatible snapshot of all mutable machine state.
+
+        ``stats`` holds only what accumulates *during* :meth:`run_slice`;
+        fields derived in :meth:`finalise` are recomputed from the restored
+        components, never carried through a snapshot.
+        """
+        state: dict = {"kind": self.KIND}
+        for name in self.SNAPSHOT_SCALARS:
+            state[name] = getattr(self, name)
+        for name, component in self._components.items():
+            state[name] = None if component is None else component.snapshot()
+        state["stats"] = self.stats.to_dict()
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` (replaces all current state)."""
+        for name in self.SNAPSHOT_SCALARS:
+            setattr(self, name, int(state[name]))
+        for name, component in self._components.items():
+            if component is not None:
+                component.restore(state[name])
+        self.stats = SimStats.from_dict(state["stats"])
+
+    def reset(self) -> None:
+        """Return every scalar, component and statistic to its fresh state."""
+        for name in self.SNAPSHOT_SCALARS:
+            setattr(self, name, self.SCALAR_DEFAULTS.get(name, 0))
+        for component in self._components.values():
+            if component is not None:
+                component.reset()
+        self.stats = SimStats()
+
+    def digest(self) -> str:
+        """Stable hex digest of the full machine snapshot."""
+        return state_digest(self.snapshot())
+
+    # -- chunk-cut capabilities (see repro.parallel) --------------------------
+
+    def chunk_anchor(self) -> int:
+        """The cut's fetch anchor — the Δ by which a canonical chunk shifts."""
+        return 0
+
+    def quiescent(self) -> bool:
+        """True when the whole pending timing state is dominated by the anchor."""
+        anchor = self.chunk_anchor()
+        return self.machine_quiescent(anchor) and self.components_quiescent(anchor)
+
+    def machine_quiescent(self, anchor: int) -> bool:
+        """Machine-level (non-component) quiescence conditions (default: none)."""
+        return True
+
+    def components_quiescent(self, anchor: int) -> bool:
+        """True when every component reports domination by ``anchor``.
+
+        A component without a ``quiescent`` capability is conservatively
+        never quiescent — correctness then rests on the exact-replay path.
+        """
+        for component in self._components.values():
+            if component is None:
+                continue
+            check = getattr(component, "quiescent", None)
+            if check is None or not check(anchor):
+                return False
+        return True
+
+    def absorb_chunk(self, worker: dict, delta: int) -> None:
+        """Merge a worker's canonical-frame exit snapshot, shifted by ``delta``.
+
+        Scalar fields follow their declared policy (shift-replace or max);
+        each component absorbs its own worker state — time fields shift,
+        monotone counters add, busy-interval lists extend; see the
+        ``absorb`` capability in :mod:`repro.machine.component`.
+        """
+        for name in self.ABSORB_SHIFT:
+            setattr(self, name, int(worker[name]) + delta)
+        for name in self.ABSORB_MAX:
+            setattr(self, name, max(getattr(self, name), int(worker[name]) + delta))
+        for name, component in self._components.items():
+            if component is None:
+                continue
+            state = worker.get(name)
+            if state is None:
+                continue
+            component.absorb(state, delta)
+        self.stats.absorb_shifted(SimStats.from_dict(worker["stats"]), delta)
+
+    # -- structural boundary ---------------------------------------------------
+
+    def structural(self) -> Optional[dict]:
+        """Stream-determined projection of the state (``None``: no such state)."""
+        return None
+
+    def seed_structural(self, structural: Optional[dict]) -> None:
+        """Impose a predicted structural boundary on a freshly built machine."""
+        if structural is not None:
+            raise ReproError(
+                f"machine {self.KIND!r} has no structural boundary; "
+                "cannot seed a worker"
+            )
+
+    # -- shared timing helpers -------------------------------------------------
+
+    def _advance_horizon(self, *times: int) -> None:
+        for time in times:
+            if time > self.horizon:
+                self.horizon = time
+
+    def _vector_effective_latency(self, opcode: Opcode) -> int:
+        op_latency = self.lat.vector_op_latency(opcode.info.latency_class)
+        return self.lat.read_crossbar + op_latency + self.lat.write_crossbar
+
+    def _scalar_latency(self, opcode: Opcode) -> int:
+        latency_class = opcode.info.latency_class
+        if latency_class in ("scalar_alu", "scalar_mul", "scalar_div"):
+            return self.lat.vector_op_latency(latency_class)
+        return self.lat.scalar_alu

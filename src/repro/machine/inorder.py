@@ -1,0 +1,94 @@
+"""The third registered machine: in-order single issue *with* renaming.
+
+The paper compares two extremes — the in-order reference machine with
+architected registers only, and the OOOVA with renaming plus out-of-order
+issue.  This module fills in the natural intermediate design point the
+comparison implies: a machine with the OOOVA's whole front end (renaming,
+reorder buffer, queues, branch prediction, memory disambiguation, load
+elimination) but *in-order, one-per-cycle issue*.  Its distance from each
+neighbour separates how much of the OOOVA's win comes from renaming alone
+and how much needs out-of-order issue.
+
+The model is a ~100-line registration, not a fork: it subclasses the
+OOOVA run and overrides exactly one timing hook (the issue gate) plus the
+scalar declarations the kernel derives everything else from.  The chunking
+hooks (quiescence, anchor, structural boundary, chunk merge) come from the
+component kernel; the structural scout is shared with the OOOVA because
+the stream-determined state transitions are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.params import OOOParams
+from repro.ooo.machine import _ExecResult, _OOORun, _StepContext
+from repro.trace.records import DynInstr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.machines import MachineModel
+
+
+@dataclass(frozen=True)
+class InOrderParams(OOOParams):
+    """Parameters of the in-order-issue, renaming intermediate machine.
+
+    Identical knobs to :class:`~repro.common.params.OOOParams` — the
+    machines differ in issue policy, not in resources — but a distinct
+    type, which is what the machine-model registry dispatches on.
+    """
+
+
+class _InOrderRun(_OOORun):
+    """OOOVA pipeline with program-order, one-per-cycle issue.
+
+    ``issue_ready`` is the only extra state: every instruction's earliest
+    issue cycle is gated on it (:meth:`_issue_gate`), and it advances to
+    one past each instruction's actual issue cycle, so no instruction may
+    begin execution before an older one has — the defining constraint the
+    OOOVA relaxes.  Load-eliminated instructions never reach an issue
+    port; they only advance the gate.
+    """
+
+    KIND = "inorder"
+    SNAPSHOT_SCALARS = ("last_rename", "fetch_resume", "issue_ready", "horizon")
+    SCALAR_DEFAULTS = {"last_rename": -1}
+    ABSORB_SHIFT = ("last_rename", "fetch_resume", "issue_ready")
+
+    #: the in-order issue pointer (cycle the next instruction may issue at)
+    issue_ready: int
+
+    def _issue_gate(self, earliest: int) -> int:
+        """Issue in program order: never before the previous instruction."""
+        return max(earliest, self.issue_ready)
+
+    def retire(self, dyn: DynInstr, ctx: _StepContext, result: _ExecResult) -> None:
+        super().retire(dyn, ctx, result)
+        # single issue per cycle, in order (monotone even on the ungated
+        # load-elimination path, whose pipe exit can trail the gate)
+        self.issue_ready = max(self.issue_ready, result.start + 1)
+
+    def machine_quiescent(self, anchor: int) -> bool:
+        """The gate is consumed via ``max(earliest, issue_ready)``.
+
+        Every gated ``earliest`` of a post-cut instruction is at least
+        ``anchor + 1`` (one cycle past its fetch), so ``issue_ready`` is
+        dominated whenever it does not exceed ``anchor + 1``.
+        """
+        return super().machine_quiescent(anchor) and self.issue_ready <= anchor + 1
+
+
+def inorder_model() -> "MachineModel":
+    """The registry entry for the ``inorder`` machine (kernel-derived hooks)."""
+    from repro.core.machines import staged_machine_model
+    from repro.parallel import scout
+
+    return staged_machine_model(
+        name="inorder",
+        params_type=InOrderParams,
+        factory=lambda params, trace: _InOrderRun(params, trace),
+        # identical stream-determined transitions: the OOOVA scout predicts
+        # this machine's structural boundaries too
+        plan_chunks=scout.iter_ooo_plans,
+    )

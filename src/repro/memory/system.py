@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.common.params import FunctionalUnitLatencies, MemoryParams
 from repro.common.resources import GapResource
+from repro.machine.component import ComponentBase
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,7 @@ class MemoryTiming:
     data_ready: int
 
 
-class MemorySystem:
+class MemorySystem(ComponentBase):
     """Allocates address-bus slots and computes access completion times."""
 
     def __init__(
@@ -99,6 +100,23 @@ class MemorySystem:
         self.vector_load_requests = int(state["vector_load_requests"])
         self.vector_store_requests = int(state["vector_store_requests"])
         self.scalar_requests = int(state["scalar_requests"])
+
+    def reset(self) -> None:
+        self.address_bus.reset()
+        self.vector_load_requests = 0
+        self.vector_store_requests = 0
+        self.scalar_requests = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        """True when the address bus carries nothing past ``anchor``."""
+        return self.address_bus.quiescent(anchor)
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Extend the bus with the worker's (shifted) slots; counters add."""
+        self.address_bus.absorb(state["bus"], delta)
+        self.vector_load_requests += int(state["vector_load_requests"])
+        self.vector_store_requests += int(state["vector_store_requests"])
+        self.scalar_requests += int(state["scalar_requests"])
 
     # -- statistics -----------------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.machine.component import ComponentBase
 from repro.trace.records import DynInstr
 
 
@@ -22,7 +23,7 @@ class _BTBEntry:
     counter: int = 2  # weakly taken
 
 
-class BranchPredictor:
+class BranchPredictor(ComponentBase):
     """64-entry BTB with 2-bit counters plus an 8-deep return-address stack."""
 
     def __init__(self, btb_entries: int = 64, ras_depth: int = 8) -> None:
@@ -133,6 +134,50 @@ class BranchPredictor:
         self._dropped_calls = set()
         self.predictions = int(state["predictions"])
         self.mispredictions = int(state["mispredictions"])
+
+    def reset(self) -> None:
+        """Return to the freshly constructed (empty) state."""
+        self._btb = {}
+        self._ras = []
+        self._dropped_calls = set()
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        """The predictor holds no cycle numbers — always dominated."""
+        return True
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Adopt the worker's exit contents; prediction counters add."""
+        predictions = self.predictions + int(state["predictions"])
+        mispredictions = self.mispredictions + int(state["mispredictions"])
+        self.restore(state)
+        self.predictions = predictions
+        self.mispredictions = mispredictions
+
+    # -- structural boundary (see repro.parallel) ----------------------------
+
+    def structural(self) -> dict:
+        """The stream-determined predictor contents (no event counters).
+
+        BTB entries are sorted because their iteration order is never
+        observed; the return stack keeps its (observable) order.
+        """
+        return {
+            "btb": sorted(
+                [index, entry.tag, entry.counter]
+                for index, entry in self._btb.items()
+            ),
+            "ras": list(self._ras),
+        }
+
+    def apply_structural(self, state: dict) -> None:
+        """Impose predicted predictor contents on a fresh instance."""
+        self._btb = {
+            int(index): _BTBEntry(tag=int(tag), counter=int(counter))
+            for index, tag, counter in state["btb"]
+        }
+        self._ras = [int(seq) for seq in state["ras"]]
 
     @property
     def misprediction_rate(self) -> float:

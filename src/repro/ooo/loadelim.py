@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.isa.instructions import ELEMENT_BYTES
+from repro.machine.component import ComponentBase
 from repro.trace.records import DynInstr
 
 
@@ -59,7 +60,7 @@ def tag_for(instr: DynInstr) -> MemoryTag | None:
     )
 
 
-class TagTable:
+class TagTable(ComponentBase):
     """Tags for one register class, keyed by physical register id."""
 
     def __init__(self, name: str) -> None:
@@ -145,8 +146,45 @@ class TagTable:
         self.matches = int(state["matches"])
         self.invalidations = int(state["invalidations"])
 
+    def reset(self) -> None:
+        """Return to the freshly constructed (empty) state."""
+        self._tags = {}
+        self.matches = 0
+        self.invalidations = 0
 
-class LoadEliminationUnit:
+    def quiescent(self, anchor: int) -> bool:
+        """Tags hold byte ranges, not cycle numbers — always dominated."""
+        return True
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Adopt the worker's exit tags; match/invalidation counters add."""
+        matches = self.matches + int(state["matches"])
+        invalidations = self.invalidations + int(state["invalidations"])
+        self.restore(state)
+        self.matches = matches
+        self.invalidations = invalidations
+
+    # -- structural boundary (see repro.parallel) ----------------------------
+
+    def structural(self) -> list:
+        """The tag rows in insertion order (first-match semantics), no counters."""
+        return [
+            [phys_id, tag.region_start, tag.region_end, tag.vl, tag.stride, tag.size]
+            for phys_id, tag in self._tags.items()
+        ]
+
+    def apply_structural(self, state: list) -> None:
+        """Impose predicted tag rows on a fresh table (counters untouched)."""
+        self._tags = {
+            int(phys_id): MemoryTag(
+                region_start=int(start), region_end=int(end),
+                vl=int(vl), stride=int(stride), size=int(size),
+            )
+            for phys_id, start, end, vl, stride, size in state
+        }
+
+
+class LoadEliminationUnit(ComponentBase):
     """The three tag tables (A, S, V) plus store-consistency bookkeeping."""
 
     def __init__(self) -> None:
@@ -174,6 +212,29 @@ class LoadEliminationUnit:
             table.restore(state["tables"][table.name])
         self.vector_loads_eliminated = int(state["vector_loads_eliminated"])
         self.scalar_loads_eliminated = int(state["scalar_loads_eliminated"])
+
+    def reset(self) -> None:
+        for table in self.all_tables():
+            table.reset()
+        self.vector_loads_eliminated = 0
+        self.scalar_loads_eliminated = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        return True
+
+    def absorb(self, state: dict, delta: int) -> None:
+        for table in self.all_tables():
+            table.absorb(state["tables"][table.name], delta)
+        self.vector_loads_eliminated += int(state["vector_loads_eliminated"])
+        self.scalar_loads_eliminated += int(state["scalar_loads_eliminated"])
+
+    def structural(self) -> dict:
+        """Per-table structural rows, keyed by table name."""
+        return {table.name: table.structural() for table in self.all_tables()}
+
+    def apply_structural(self, state: dict) -> None:
+        for table in self.all_tables():
+            table.apply_structural(state[table.name])
 
     def store_executed(self, instr: DynInstr, phys_id: int, table: TagTable) -> None:
         """Update tags for a store: tag the stored register, kill overlaps.

@@ -19,10 +19,15 @@ model of Section 5 and dynamic load elimination of Section 6:
 * with load elimination enabled, loads whose address tag exactly matches a
   physical register's tag never reach memory.
 
-The simulator processes the trace in program order and computes each
-instruction's timing against shared resources that support *gap filling*
-(younger ready instructions may claim earlier slots than older stalled
-ones), which is what gives the machine its out-of-order behaviour.
+The machine is declared on the component kernel
+(:class:`repro.machine.core.StagedMachine`): all mutable state lives in
+registered :class:`~repro.machine.component.MachineComponent`\\ s, the
+front end (:meth:`_OOORun.decode`) and the commit stage
+(:meth:`_OOORun.retire`) bracket a per-instruction-class dispatch table,
+and ``snapshot``/``restore``/quiescence/chunk-merging are derived from the
+component registry.  The in-order-issue intermediate machine
+(:mod:`repro.machine.inorder`) subclasses this model and overrides only
+the issue gate.
 """
 
 from __future__ import annotations
@@ -33,8 +38,9 @@ from repro.common.errors import SimulationError
 from repro.common.params import CommitModel, LoadElimination, OOOParams
 from repro.common.resources import GapResource, PipelinedResource
 from repro.common.stats import SimStats
-from repro.isa.opcodes import InstrKind, Opcode
+from repro.isa.opcodes import InstrKind
 from repro.isa.registers import RegClass, Register
+from repro.machine.core import StagedMachine
 from repro.memory.system import MemorySystem
 from repro.ooo.btb import BranchPredictor
 from repro.ooo.loadelim import LoadEliminationUnit, TagTable
@@ -61,6 +67,15 @@ class _ExecResult:
     released: list[tuple[RegClass, PhysReg | None]] = field(default_factory=list)
 
 
+@dataclass
+class _StepContext:
+    """Front-end outcome handed from :meth:`_OOORun.decode` to the handlers."""
+
+    queue_kind: QueueKind
+    queue: object
+    rename_time: int
+
+
 class OOOVectorSimulator:
     """Trace-driven timing simulator of the OOOVA machine."""
 
@@ -72,55 +87,55 @@ class OOOVectorSimulator:
         return _OOORun(self.params, trace).execute()
 
 
-class _OOORun:
+class _OOORun(StagedMachine):
     """All mutable state of a single OOOVA simulation."""
 
-    def __init__(self, params: OOOParams, trace: Trace) -> None:
-        self.params = params
-        self.trace = trace
-        self.lat = params.latencies
+    KIND = "ooo"
+    SNAPSHOT_SCALARS = ("last_rename", "fetch_resume", "horizon")
+    SCALAR_DEFAULTS = {"last_rename": -1}
+    ABSORB_SHIFT = ("last_rename", "fetch_resume")
+    DISPATCH = {
+        InstrKind.VECTOR_ALU: "_run_vector_compute",
+        InstrKind.VECTOR_LOAD: "_run_memory",
+        InstrKind.VECTOR_STORE: "_run_memory",
+        InstrKind.SCALAR_LOAD: "_run_memory",
+        InstrKind.SCALAR_STORE: "_run_memory",
+        InstrKind.BRANCH: "_run_branch",
+    }
+    DEFAULT_HANDLER = "_run_scalar"
 
-        self.memory = MemorySystem(params.memory, params.latencies)
-        self.rename = RenameUnit(
-            params.num_phys_aregs,
-            params.num_phys_sregs,
-            params.num_phys_vregs,
-            params.num_phys_maskregs,
+    def __init__(self, params: OOOParams, trace: Trace) -> None:
+        super().__init__(params, trace)
+
+        self.memory = self.register_component(
+            "memory", MemorySystem(params.memory, params.latencies))
+        self.rename = self.register_component(
+            "rename",
+            RenameUnit(
+                params.num_phys_aregs,
+                params.num_phys_sregs,
+                params.num_phys_vregs,
+                params.num_phys_maskregs,
+            ),
         )
-        self.rob = ReorderBuffer(params.rob_entries, params.commit_width)
-        self.queues = QueueSet(params.queue_slots)
-        self.predictor = BranchPredictor(params.btb_entries, params.ras_depth)
-        self.mempipe = MemoryPipeline()
-        self.fu1 = GapResource("FU1")
-        self.fu2 = GapResource("FU2")
-        self.a_unit = PipelinedResource("A-unit")
-        self.s_unit = PipelinedResource("S-unit")
+        self.rob = self.register_component(
+            "rob", ReorderBuffer(params.rob_entries, params.commit_width))
+        self.queues = self.register_component(
+            "queues", QueueSet(params.queue_slots))
+        self.predictor = self.register_component(
+            "predictor", BranchPredictor(params.btb_entries, params.ras_depth))
+        self.mempipe = self.register_component("mempipe", MemoryPipeline())
+        self.fu1 = self.register_component("fu1", GapResource("FU1"))
+        self.fu2 = self.register_component("fu2", GapResource("FU2"))
+        self.a_unit = self.register_component("a_unit", PipelinedResource("A-unit"))
+        self.s_unit = self.register_component("s_unit", PipelinedResource("S-unit"))
 
         self.sle = params.load_elimination in (LoadElimination.SLE, LoadElimination.SLE_VLE)
         self.vle = params.load_elimination is LoadElimination.SLE_VLE
-        self.loadelim = LoadEliminationUnit() if self.sle else None
-
-        self.stats = SimStats()
-        self.last_rename = -1
-        self.fetch_resume = 0
-        self.horizon = 0
+        self.loadelim = self.register_component(
+            "loadelim", LoadEliminationUnit() if self.sle else None)
 
     # ------------------------------------------------------------------ utils
-
-    def _advance_horizon(self, *times: int) -> None:
-        for time in times:
-            if time > self.horizon:
-                self.horizon = time
-
-    def _vector_effective_latency(self, opcode: Opcode) -> int:
-        op_latency = self.lat.vector_op_latency(opcode.info.latency_class)
-        return self.lat.read_crossbar + op_latency + self.lat.write_crossbar
-
-    def _scalar_latency(self, opcode: Opcode) -> int:
-        latency_class = opcode.info.latency_class
-        if latency_class in ("scalar_alu", "scalar_mul", "scalar_div"):
-            return self.lat.vector_op_latency(latency_class)
-        return self.lat.scalar_alu
 
     def _vector_source_ready(self, phys: PhysReg, for_store: bool) -> int:
         if phys.from_load:
@@ -144,23 +159,41 @@ class _OOORun:
         if table is not None:
             table.invalidate(phys.ident)
 
-    # ------------------------------------------------------------------ driver
+    def _issue_gate(self, earliest: int) -> int:
+        """Constrain an instruction's earliest issue cycle (OOOVA: none).
 
-    def execute(self) -> SimStats:
-        self.run_slice(self.trace)
-        return self.finalise()
-
-    def run_slice(self, instructions) -> None:
-        """Process ``instructions`` (any iterable of :class:`DynInstr`).
-
-        The machine state simply carries over between calls, so a simulation
-        can be split into resumable segments: ``run_slice`` each segment in
-        order, then :meth:`finalise` once.  The chunked simulator
-        (:mod:`repro.parallel`) also snapshots/restores the state between
-        slices to stitch independently simulated chunks back together.
+        The in-order intermediate machine (:mod:`repro.machine.inorder`)
+        overrides this single hook to force program-order, one-per-cycle
+        issue on the otherwise identical pipeline.
         """
-        for dyn in instructions:
-            self._process(dyn)
+        return earliest
+
+    # --------------------------------------------------------- pipeline stages
+
+    def decode(self, dyn: DynInstr) -> _StepContext:
+        """Front end: route to a queue, allocate ROB and queue slots in order."""
+        queue_kind = route_queue(dyn)
+        queue = self.queues.queues[queue_kind]
+        fetch_time = max(self.last_rename + 1, self.fetch_resume)
+        rename_time = self.rob.allocate(fetch_time)
+        rename_time = queue.admit(rename_time)
+        return _StepContext(queue_kind, queue, rename_time)
+
+    def retire(self, dyn: DynInstr, ctx: _StepContext, result: _ExecResult) -> None:
+        """Back end: queue departure, in-order commit, free-list releases."""
+        ctx.queue.register_departure(result.departure)
+
+        if self.params.commit_model is CommitModel.EARLY:
+            ready_to_commit = result.start
+        else:
+            ready_to_commit = result.completion
+        commit_time = self.rob.commit(max(ready_to_commit, result.rename_done))
+
+        for cls, phys in result.released:
+            self.rename.release(cls, phys, commit_time)
+
+        self.last_rename = max(ctx.rename_time, result.rename_done)
+        self._advance_horizon(result.completion, commit_time, result.departure)
 
     def finalise(self) -> SimStats:
         """Derive the final :class:`SimStats` from the accumulated state."""
@@ -178,98 +211,45 @@ class _OOORun:
 
     # ------------------------------------------------- chunked-simulation state
 
-    def snapshot(self) -> dict:
-        """JSON-compatible snapshot of all mutable machine state.
+    def chunk_anchor(self) -> int:
+        """``last_rename + 1`` — the earliest post-cut fetch cycle."""
+        return self.last_rename + 1
 
-        ``stats`` holds only what accumulates *during* :meth:`run_slice`
-        (instruction counts, traffic, the MEM busy tracker); the fields
-        derived in :meth:`finalise` are recomputed from the restored
-        components, never carried through a snapshot.
+    def machine_quiescent(self, anchor: int) -> bool:
+        """The one scalar consumption site outside the components."""
+        return self.fetch_resume <= anchor
+
+    def structural(self) -> dict:
+        """The stream-determined part of the OOOVA state (see the scout).
+
+        Composed by the same function the scout uses for its predictions
+        (:func:`repro.parallel.boundary.ooo_structural`), so the two
+        projections can never drift apart.
         """
-        state = {
-            "kind": "ooo",
-            "last_rename": self.last_rename,
-            "fetch_resume": self.fetch_resume,
-            "horizon": self.horizon,
-            "rename": self.rename.snapshot(),
-            "rob": self.rob.snapshot(),
-            "queues": self.queues.snapshot(),
-            "predictor": self.predictor.snapshot(),
-            "mempipe": self.mempipe.snapshot(),
-            "memory": self.memory.snapshot(),
-            "fu1": self.fu1.snapshot(),
-            "fu2": self.fu2.snapshot(),
-            "a_unit": self.a_unit.snapshot(),
-            "s_unit": self.s_unit.snapshot(),
-            "loadelim": self.loadelim.snapshot() if self.loadelim is not None else None,
-            "stats": self.stats.to_dict(),
-        }
-        return state
+        from repro.parallel.boundary import ooo_structural
 
-    def restore(self, state: dict) -> None:
-        """Reinstate a :meth:`snapshot` (replaces all current state)."""
-        self.last_rename = int(state["last_rename"])
-        self.fetch_resume = int(state["fetch_resume"])
-        self.horizon = int(state["horizon"])
-        self.rename.restore(state["rename"])
-        self.rob.restore(state["rob"])
-        self.queues.restore(state["queues"])
-        self.predictor.restore(state["predictor"])
-        self.mempipe.restore(state["mempipe"])
-        self.memory.restore(state["memory"])
-        self.fu1.restore(state["fu1"])
-        self.fu2.restore(state["fu2"])
-        self.a_unit.restore(state["a_unit"])
-        self.s_unit.restore(state["s_unit"])
-        if self.loadelim is not None:
-            self.loadelim.restore(state["loadelim"])
-        self.stats = SimStats.from_dict(state["stats"])
+        return ooo_structural(self.rename, self.predictor, self.loadelim)
 
-    def _process(self, dyn: DynInstr) -> None:
-        queue_kind = route_queue(dyn)
-        queue = self.queues.queues[queue_kind]
+    def seed_structural(self, structural: dict | None) -> None:
+        """Impose a predicted structural boundary on a freshly built run.
 
-        fetch_time = max(self.last_rename + 1, self.fetch_resume)
-        rename_time = self.rob.allocate(fetch_time)
-        rename_time = queue.admit(rename_time)
-
-        kind = dyn.kind
-        if kind is InstrKind.VECTOR_ALU:
-            result = self._run_vector_compute(dyn, rename_time)
-            self.stats.vector_instructions += 1
-            self.stats.vector_operations += dyn.vl
-        elif kind in (InstrKind.VECTOR_LOAD, InstrKind.VECTOR_STORE,
-                      InstrKind.SCALAR_LOAD, InstrKind.SCALAR_STORE):
-            result = self._run_memory(dyn, rename_time)
-            if dyn.is_vector:
-                self.stats.vector_instructions += 1
-                self.stats.vector_operations += dyn.vl
-            else:
-                self.stats.scalar_instructions += 1
-        elif kind is InstrKind.BRANCH:
-            result = self._run_branch(dyn, rename_time)
-            self.stats.branch_instructions += 1
-        else:
-            result = self._run_scalar(dyn, rename_time, queue_kind)
-            self.stats.scalar_instructions += 1
-
-        queue.register_departure(result.departure)
-
-        if self.params.commit_model is CommitModel.EARLY:
-            ready_to_commit = result.start
-        else:
-            ready_to_commit = result.completion
-        commit_time = self.rob.commit(max(ready_to_commit, result.rename_done))
-
-        for cls, phys in result.released:
-            self.rename.release(cls, phys, commit_time)
-
-        self.last_rename = max(rename_time, result.rename_done)
-        self._advance_horizon(result.completion, commit_time, result.departure)
+        The run's timing state is already all-zero (it was just built),
+        which *is* the canonical quiescent frame; only the
+        stream-determined parts need to be imposed.
+        """
+        if structural is None:
+            return
+        self.rename.apply_structural(structural["rename"])
+        self.predictor.apply_structural(
+            {"btb": structural["btb"], "ras": structural["ras"]})
+        if self.loadelim is not None and structural["tags"] is not None:
+            self.loadelim.apply_structural(structural["tags"])
 
     # ------------------------------------------------------------ scalar / branch
 
-    def _run_scalar(self, dyn: DynInstr, rename_time: int, queue_kind: QueueKind) -> _ExecResult:
+    def _run_scalar(self, dyn: DynInstr, ctx: _StepContext) -> _ExecResult:
+        self.stats.scalar_instructions += 1
+        rename_time = ctx.rename_time
         sources = [self.rename.source(src) for src in dyn.srcs]
         released: list[tuple[RegClass, PhysReg | None]] = []
         rename_done = rename_time
@@ -284,7 +264,8 @@ class _OOORun:
         ready = rename_done + 1
         for phys in sources:
             ready = max(ready, phys.ready)
-        unit = self.a_unit if queue_kind is QueueKind.A else self.s_unit
+        ready = self._issue_gate(ready)
+        unit = self.a_unit if ctx.queue_kind is QueueKind.A else self.s_unit
         issue = unit.reserve(ready)
         completion = issue + self._scalar_latency(dyn.opcode)
 
@@ -295,11 +276,14 @@ class _OOORun:
 
         return _ExecResult(issue, completion, issue, rename_done, released)
 
-    def _run_branch(self, dyn: DynInstr, rename_time: int) -> _ExecResult:
+    def _run_branch(self, dyn: DynInstr, ctx: _StepContext) -> _ExecResult:
+        self.stats.branch_instructions += 1
+        rename_time = ctx.rename_time
         sources = [self.rename.source(src) for src in dyn.srcs]
         ready = rename_time + 1
         for phys in sources:
             ready = max(ready, phys.ready)
+        ready = self._issue_gate(ready)
         issue = self.a_unit.reserve(ready)
         resolve = issue + self.lat.scalar_alu
 
@@ -315,7 +299,10 @@ class _OOORun:
 
     # ------------------------------------------------------------------ vector
 
-    def _run_vector_compute(self, dyn: DynInstr, rename_time: int) -> _ExecResult:
+    def _run_vector_compute(self, dyn: DynInstr, ctx: _StepContext) -> _ExecResult:
+        self.stats.vector_instructions += 1
+        self.stats.vector_operations += dyn.vl
+        rename_time = ctx.rename_time
         sources = [self.rename.source(src) for src in dyn.srcs]
         released: list[tuple[RegClass, PhysReg | None]] = []
         rename_done = rename_time
@@ -348,6 +335,7 @@ class _OOORun:
                 earliest = max(earliest, self._vector_source_ready(phys, for_store=False))
             else:
                 earliest = max(earliest, phys.ready)
+        earliest = self._issue_gate(earliest)
 
         vl = max(dyn.vl, 1)
         duration = vl + self.lat.vector_startup
@@ -376,7 +364,13 @@ class _OOORun:
 
     # ------------------------------------------------------------------ memory
 
-    def _run_memory(self, dyn: DynInstr, rename_time: int) -> _ExecResult:
+    def _run_memory(self, dyn: DynInstr, ctx: _StepContext) -> _ExecResult:
+        if dyn.is_vector:
+            self.stats.vector_instructions += 1
+            self.stats.vector_operations += dyn.vl
+        else:
+            self.stats.scalar_instructions += 1
+        rename_time = ctx.rename_time
         sources = {src: self.rename.source(src) for src in dyn.srcs}
 
         if dyn.is_store:
@@ -467,7 +461,8 @@ class _OOORun:
             return _ExecResult(pipe_exit, completion, pipe_exit + 1,
                                rename_done, released)
 
-        earliest = max(dependence_ready, index_ready, rename_result.available_at)
+        earliest = self._issue_gate(
+            max(dependence_ready, index_ready, rename_result.available_at))
         if dyn.is_vector:
             timing = self.memory.vector_load(earliest, vl)
             dest_phys.first_result = timing.start + self.params.memory.latency
@@ -515,6 +510,7 @@ class _OOORun:
             # i.e. once every older instruction has committed (Section 5).
             earliest = max(earliest, self.rob.last_commit)
             self.stats.stores_executed_at_head += 1
+        earliest = self._issue_gate(earliest)
 
         if dyn.is_vector:
             timing = self.memory.vector_store(earliest, vl)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.resources import InOrderPipe
+from repro.machine.component import ComponentBase
 from repro.trace.records import DynInstr
 
 
@@ -32,7 +33,7 @@ class _PendingAccess:
     address_done: int
 
 
-class MemoryPipeline:
+class MemoryPipeline(ComponentBase):
     """In-order front end of the memory queue plus run-time disambiguation."""
 
     def __init__(self, depth: int = 3) -> None:
@@ -115,6 +116,43 @@ class MemoryPipeline:
             for seq, start, end, is_store, done in state["pending"]
         ]
         self.dependence_stalls = int(state["dependence_stalls"])
+
+    def reset(self) -> None:
+        """Return to the freshly constructed (empty) state."""
+        self.pipe.reset()
+        self._pending = []
+        self.dependence_stalls = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        """True when the pipe and every pending access are dominated.
+
+        The pipe's ``last_exit`` may run ``depth`` cycles past the anchor
+        because traversal enters at ``rename + 1`` and exits ``depth``
+        stages later.
+        """
+        if not self.pipe.quiescent(anchor):
+            return False
+        return not any(p.address_done > anchor for p in self._pending)
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Adopt the worker's (shifted) pipe and pending window; stalls add.
+
+        A worker that saw no memory traffic leaves ``last_exit`` at its
+        initial ``-1``; the parent's own exit time then stands.
+        """
+        if int(state["pipe"]["last_exit"]) >= 0:
+            self.pipe.last_exit = int(state["pipe"]["last_exit"]) + delta
+        self.dependence_stalls += int(state["dependence_stalls"])
+        self._pending = [
+            _PendingAccess(
+                seq=int(seq),
+                region_start=int(start),
+                region_end=int(end),
+                is_store=bool(is_store),
+                address_done=int(done) + delta,
+            )
+            for seq, start, end, is_store, done in state["pending"]
+        ]
 
     def _prune(self) -> None:
         """Drop accesses that can no longer constrain anything new.

@@ -20,6 +20,7 @@ from heapq import heapify, heappop, heappush
 
 from repro.common.errors import ConfigurationError
 from repro.isa.opcodes import InstrKind
+from repro.machine.component import ComponentBase
 from repro.trace.records import DynInstr
 
 
@@ -54,7 +55,7 @@ def route_queue(instr: DynInstr) -> QueueKind:
     return QueueKind.S
 
 
-class IssueQueue:
+class IssueQueue(ComponentBase):
     """Occupancy model of one instruction queue."""
 
     def __init__(self, kind: QueueKind, slots: int) -> None:
@@ -117,8 +118,27 @@ class IssueQueue:
         self.full_stalls = int(state["full_stalls"])
         self.full_stall_cycles = int(state["full_stall_cycles"])
 
+    def reset(self) -> None:
+        """Return to the freshly constructed (empty) state."""
+        self._departures = []
+        self.admissions = 0
+        self.full_stalls = 0
+        self.full_stall_cycles = 0
 
-class QueueSet:
+    def quiescent(self, anchor: int) -> bool:
+        """True when every pending departure is dominated by ``anchor``."""
+        return not any(t > anchor for t in self._departures)
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Adopt the worker's (shifted) departures; counters add."""
+        self._departures = [int(t) + delta for t in state["departures"]]
+        heapify(self._departures)
+        self.admissions += int(state["admissions"])
+        self.full_stalls += int(state["full_stalls"])
+        self.full_stall_cycles += int(state["full_stall_cycles"])
+
+
+class QueueSet(ComponentBase):
     """The four queues of the machine."""
 
     def __init__(self, slots: int) -> None:
@@ -133,6 +153,17 @@ class QueueSet:
     def restore(self, state: dict) -> None:
         for kind, queue in self.queues.items():
             queue.restore(state[kind.value])
+
+    def reset(self) -> None:
+        for queue in self.queues.values():
+            queue.reset()
+
+    def quiescent(self, anchor: int) -> bool:
+        return all(queue.quiescent(anchor) for queue in self.queues.values())
+
+    def absorb(self, state: dict, delta: int) -> None:
+        for kind, queue in self.queues.items():
+            queue.absorb(state[kind.value], delta)
 
     @property
     def total_full_stalls(self) -> int:

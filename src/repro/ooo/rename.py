@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import SimulationError
 from repro.isa.registers import RegClass, Register
+from repro.machine.component import ComponentBase
 
 
 @dataclass
@@ -47,7 +48,7 @@ class RenameResult:
     available_at: int
 
 
-class RegisterFileRenamer:
+class RegisterFileRenamer(ComponentBase):
     """Rename table + free list for a single register class."""
 
     def __init__(self, cls: RegClass, num_physical: int) -> None:
@@ -185,6 +186,70 @@ class RegisterFileRenamer:
         self.allocation_stalls = int(state["allocation_stalls"])
         self.allocation_stall_cycles = int(state["allocation_stall_cycles"])
 
+    def reset(self) -> None:
+        """Return to the freshly constructed state (all registers free)."""
+        self.registers = [PhysReg(i) for i in range(self.num_physical)]
+        self.mapping = {}
+        self.free = {reg.ident: 0 for reg in self.registers}
+        self.allocation_stalls = 0
+        self.allocation_stall_cycles = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        """True when every register and free-list time is dominated by ``anchor``."""
+        for phys in self.registers:
+            if phys.ready > anchor or phys.first_result > anchor:
+                return False
+        for avail in self.free.values():
+            if avail > anchor:
+                return False
+        return True
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Adopt the worker's (shifted) rename state; stall counters add."""
+        for ident, ready, first_result, from_load in state["regs"]:
+            reg = self.registers[int(ident)]
+            reg.ready = int(ready) + delta
+            reg.first_result = int(first_result) + delta
+            reg.from_load = bool(from_load)
+        self.mapping = {
+            int(logical): self.registers[int(ident)]
+            for logical, ident in state["mapping"]
+        }
+        self.free = {
+            int(ident): int(avail) + delta for ident, avail in state["free"]
+        }
+        self.allocation_stalls += int(state["allocation_stalls"])
+        self.allocation_stall_cycles += int(state["allocation_stall_cycles"])
+
+    # -- structural boundary (see repro.parallel) ----------------------------
+
+    def structural(self) -> dict:
+        """The stream-determined part of this class's rename state.
+
+        The free list is recorded as an ordered ident list (the FIFO
+        allocation order); availability times are timing state and
+        excluded.  Mapping entries are sorted because their iteration
+        order is never observed.
+        """
+        return {
+            "mapping": sorted(
+                [logical, phys.ident] for logical, phys in self.mapping.items()
+            ),
+            "free": list(self.free),
+        }
+
+    def apply_structural(self, state: dict) -> None:
+        """Impose a predicted structural state on a freshly built renamer.
+
+        The timing side (availability times) is already all-zero on a
+        fresh instance, which *is* the canonical quiescent frame.
+        """
+        self.mapping = {
+            int(logical): self.registers[int(ident)]
+            for logical, ident in state["mapping"]
+        }
+        self.free = {int(ident): 0 for ident in state["free"]}
+
     # -- queries -------------------------------------------------------------
 
     @property
@@ -201,7 +266,7 @@ class RegisterFileRenamer:
             )
 
 
-class RenameUnit:
+class RenameUnit(ComponentBase):
     """The four per-class renamers of the OOOVA, behind one interface."""
 
     def __init__(
@@ -237,6 +302,25 @@ class RenameUnit:
     def restore(self, state: dict) -> None:
         for cls, file in self.files.items():
             file.restore(state[cls.value])
+
+    def reset(self) -> None:
+        for file in self.files.values():
+            file.reset()
+
+    def quiescent(self, anchor: int) -> bool:
+        return all(file.quiescent(anchor) for file in self.files.values())
+
+    def absorb(self, state: dict, delta: int) -> None:
+        for cls, file in self.files.items():
+            file.absorb(state[cls.value], delta)
+
+    def structural(self) -> dict:
+        """Per-class structural projections, keyed by register-class value."""
+        return {cls.value: file.structural() for cls, file in self.files.items()}
+
+    def apply_structural(self, state: dict) -> None:
+        for cls, file in self.files.items():
+            file.apply_structural(state[cls.value])
 
     @property
     def total_allocation_stalls(self) -> int:

@@ -22,9 +22,10 @@ from collections import deque
 from heapq import heapify, heappop, heappush
 
 from repro.common.errors import ConfigurationError
+from repro.machine.component import ComponentBase
 
 
-class ReorderBuffer:
+class ReorderBuffer(ComponentBase):
     """Tracks entry allocation, in-order commit and commit bandwidth."""
 
     def __init__(self, entries: int, commit_width: int) -> None:
@@ -112,3 +113,31 @@ class ReorderBuffer:
         self.allocation_stalls = int(state["allocation_stalls"])
         self.allocation_stall_cycles = int(state["allocation_stall_cycles"])
         self.committed = int(state["committed"])
+
+    def reset(self) -> None:
+        """Return to the freshly constructed (empty) state."""
+        self._occupancy = []
+        self._recent_commits = deque(maxlen=self.commit_width)
+        self.last_commit = 0
+        self.allocation_stalls = 0
+        self.allocation_stall_cycles = 0
+        self.committed = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        """True when every commit time on record is dominated by ``anchor``."""
+        if self.last_commit > anchor:
+            return False
+        if any(t > anchor for t in self._occupancy):
+            return False
+        return not any(t > anchor for t in self._recent_commits)
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Adopt the worker's (shifted) occupancy; stall counters add."""
+        self._occupancy = [int(t) + delta for t in state["occupancy"]]
+        heapify(self._occupancy)
+        self._recent_commits.clear()
+        self._recent_commits.extend(int(t) + delta for t in state["recent"])
+        self.last_commit = int(state["last_commit"]) + delta
+        self.allocation_stalls += int(state["allocation_stalls"])
+        self.allocation_stall_cycles += int(state["allocation_stall_cycles"])
+        self.committed += int(state["committed"])

@@ -1,6 +1,7 @@
 """Boundary states: what may cross a chunk cut, and how results stitch.
 
-The chunked simulator rests on two properties of both timing models:
+The chunked simulator rests on two properties of every timing model built
+on the component kernel (:mod:`repro.machine`):
 
 **Shift equivariance.**  Every quantity either side of a cut is a cycle
 number, and the simulators only ever combine cycle numbers with ``max``,
@@ -26,113 +27,38 @@ contents, load-elimination tag tables — which is a pure function of the
 instruction stream and is predicted ahead of time by the scout
 (:mod:`repro.parallel.scout`).
 
+Since the component-kernel refactor, each of those conditions lives with
+the component that owns the state (the ``quiescent``/``absorb``/
+``structural`` capabilities of :mod:`repro.machine.component`), and a
+machine's boundary behaviour is *derived* from its component registry by
+:class:`repro.machine.core.StagedMachine` — this module only keeps the
+digest and the registry-dispatch entry points used by the chunked driver.
+
 A speculative chunk result is accepted only when, at stitch time, the true
 machine state is quiescent **and** its structural projection digests to the
 entry digest the worker was seeded with.  Anything else takes the
 exact-replay fallback, so correctness never depends on the speculation
-paying off.  The merge functions below translate an accepted worker
-snapshot into the parent machine: time fields shift by Δ, monotonically
+paying off.  On an accepted merge, time fields shift by Δ, monotonically
 accumulated counters add, busy-interval trackers concatenate (old intervals
 all end ≤ A, shifted chunk intervals all start ≥ A+1, so order and
 disjointness are preserved), and structural state is replaced by the
-worker's exit state.
+worker's exit state — each component absorbing its own share.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-from typing import TYPE_CHECKING
-
-from repro.common.stats import SimStats
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.ooo.machine import _OOORun
-    from repro.refsim.machine import _ReferenceRun
+from repro.machine.component import state_digest
 
 #: bump when the snapshot/boundary schema changes (invalidates chunk caches)
 BOUNDARY_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
-# Quiescence tests
+# Registry dispatch (used by the chunked driver)
 # ---------------------------------------------------------------------------
 
-def ooo_quiescent(run: "_OOORun") -> bool:
-    """True when the OOOVA state is fully dominated by the fetch anchor.
-
-    The anchor is ``A = last_rename + 1`` — the earliest cycle at which any
-    post-cut instruction can be fetched.  Every condition below guards one
-    consumption site in :class:`repro.ooo.machine._OOORun`; the memory
-    pipeline's ``last_exit`` may run ``depth`` cycles past the anchor
-    because traversal enters at ``rename + 1`` and exits ``depth`` stages
-    later.
-    """
-    anchor = run.last_rename + 1
-    if run.fetch_resume > anchor:
-        return False
-    for file in run.rename.files.values():
-        for phys in file.registers:
-            if phys.ready > anchor or phys.first_result > anchor:
-                return False
-        for avail in file.free.values():
-            if avail > anchor:
-                return False
-    rob = run.rob
-    if rob.last_commit > anchor:
-        return False
-    if any(t > anchor for t in rob._occupancy):
-        return False
-    if any(t > anchor for t in rob._recent_commits):
-        return False
-    for queue in run.queues.queues.values():
-        if any(t > anchor for t in queue._departures):
-            return False
-    pipe = run.mempipe.pipe
-    if pipe.last_exit > anchor + pipe.depth:
-        return False
-    if any(p.address_done > anchor for p in run.mempipe._pending):
-        return False
-    for gap in (run.fu1, run.fu2, run.memory.address_bus):
-        if gap._ends and gap._ends[-1] > anchor:
-            return False
-    for unit in (run.a_unit, run.s_unit):
-        if unit._slots and max(unit._slots) > anchor:
-            return False
-    return True
-
-
-def ref_quiescent(run: "_ReferenceRun") -> bool:
-    """True when the reference-machine state is dominated by ``issue_ready``.
-
-    One site escapes the ``max(old, new)`` pattern: unit selection compares
-    ``fu1.free_at <= fu2.free_at`` — two old values against *each other*.
-    The canonical frame zeroes both and therefore prefers FU1, so the cut is
-    only safe when the true state agrees with that preference.
-    """
-    anchor = run.issue_ready
-    if run.fu1.free_at > run.fu2.free_at:
-        return False
-    for state in run.regs.values():
-        if state.ready > anchor or state.read_until > anchor:
-            return False
-    for unit in (run.fu1, run.fu2, run.mem_unit):
-        if unit.free_at > anchor:
-            return False
-    bus = run.memory.address_bus
-    if bus._ends and bus._ends[-1] > anchor:
-        return False
-    regfile = run.regfile
-    for banks in (regfile._read_ports, regfile._write_ports):
-        for bank in banks:
-            for port in bank:
-                if port._ends and port._ends[-1] > anchor:
-                    return False
-    return True
-
-
 def quiescent(run) -> bool:
-    """Registry dispatch on the run's machine model (used by the driver)."""
+    """True when the run's pending timing state is dominated by its anchor."""
     from repro.core.machines import model_for_run
 
     return model_for_run(run).quiescent(run)
@@ -145,257 +71,18 @@ def anchor_of(run) -> int:
     return model_for_run(run).anchor_of(run)
 
 
-# ---------------------------------------------------------------------------
-# Structural projections and digests
-# ---------------------------------------------------------------------------
-
-def ooo_structural(rename, predictor, loadelim) -> dict:
-    """The stream-determined part of the OOOVA state.
-
-    Works on the live components of a run *or* of a scout — both expose the
-    same objects.  Free lists are recorded as ordered ident lists (the FIFO
-    allocation order); availability times are timing state and excluded.
-    Tag tables keep insertion order (first-match semantics); mapping and BTB
-    entries are sorted because their iteration order is never observed.
-    """
-    state: dict = {
-        "rename": {
-            cls.value: {
-                "mapping": sorted(
-                    [logical, phys.ident] for logical, phys in file.mapping.items()
-                ),
-                "free": list(file.free),
-            }
-            for cls, file in rename.files.items()
-        },
-        "btb": sorted(
-            [index, entry.tag, entry.counter]
-            for index, entry in predictor._btb.items()
-        ),
-        "ras": list(predictor._ras),
-        "tags": None,
-    }
-    if loadelim is not None:
-        state["tags"] = {
-            table.name: [
-                [phys_id, tag.region_start, tag.region_end, tag.vl, tag.stride,
-                 tag.size]
-                for phys_id, tag in table._tags.items()
-            ]
-            for table in loadelim.all_tables()
-        }
-    return state
-
-
 def structural_of(run) -> dict | None:
-    """Structural projection of a live run (``None`` for the reference run)."""
+    """Structural projection of a live run (``None``: no structural state)."""
     from repro.core.machines import model_for_run
 
     return model_for_run(run).structural_of(run)
 
 
-def structural_digest(structural: dict | None) -> str:
-    """Stable hex digest of a structural projection."""
-    blob = json.dumps(
-        {"version": BOUNDARY_VERSION, "structural": structural},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
-
-
 def apply_structural(run, structural: dict | None) -> None:
-    """Seed a freshly constructed run with a predicted structural state.
-
-    Registry dispatch: the model's ``apply_structural`` hook does the work
-    (:func:`apply_ooo_structural` for the OOOVA, a no-op for the reference
-    machine, whose boundary has no structural component).
-    """
+    """Seed a freshly constructed run with a predicted structural state."""
     from repro.core.machines import model_for_run
 
     model_for_run(run).apply_structural(run, structural)
-
-
-def apply_ooo_structural(run, structural: dict | None) -> None:
-    """Impose a predicted OOOVA structural state on a freshly built run.
-
-    The run's timing state is already all-zero (it was just built), which
-    *is* the canonical quiescent frame; only the stream-determined parts
-    need to be imposed.
-    """
-    if structural is None:
-        return
-    from repro.ooo.btb import _BTBEntry
-    from repro.ooo.loadelim import MemoryTag
-
-    for cls, file in run.rename.files.items():
-        part = structural["rename"][cls.value]
-        file.mapping = {
-            int(logical): file.registers[int(ident)]
-            for logical, ident in part["mapping"]
-        }
-        file.free = {int(ident): 0 for ident in part["free"]}
-    run.predictor._btb = {
-        int(index): _BTBEntry(tag=int(tag), counter=int(counter))
-        for index, tag, counter in structural["btb"]
-    }
-    run.predictor._ras = [int(seq) for seq in structural["ras"]]
-    if run.loadelim is not None and structural["tags"] is not None:
-        for table in run.loadelim.all_tables():
-            table._tags = {
-                int(phys_id): MemoryTag(
-                    region_start=int(start), region_end=int(end),
-                    vl=int(vl), stride=int(stride), size=int(size),
-                )
-                for phys_id, start, end, vl, stride, size
-                in structural["tags"][table.name]
-            }
-
-
-# ---------------------------------------------------------------------------
-# Applying an accepted worker snapshot onto the parent machine
-# ---------------------------------------------------------------------------
-#
-# The merge is *in place* on the live parent run and costs O(worker state):
-# structural state and timing scalars are overwritten by the worker's
-# shifted exit values (untouched fields come out as canonical zeros and
-# shift to Δ — the true values they replace are ≤ Δ and dominated forever),
-# monotone counters add, and busy-interval lists extend (old intervals all
-# end ≤ Δ, shifted chunk intervals all start ≥ Δ, preserving order).  The
-# parent's own accumulated intervals and statistics are never re-serialised,
-# which keeps a run with many accepted chunks linear in trace length.
-
-def _extend_gap(gap, state: dict, delta: int) -> None:
-    """Append a worker GapResource state (shifted) onto the parent's."""
-    for start, end in state["busy"]:
-        gap._starts.append(int(start) + delta)
-        gap._ends.append(int(end) + delta)
-    for start, end in state["tracker"]:
-        gap.tracker.add(int(start) + delta, int(end) + delta)
-
-
-def _apply_memory(memory, state: dict, delta: int) -> None:
-    _extend_gap(memory.address_bus, state["bus"], delta)
-    memory.vector_load_requests += int(state["vector_load_requests"])
-    memory.vector_store_requests += int(state["vector_store_requests"])
-    memory.scalar_requests += int(state["scalar_requests"])
-
-
-def _apply_stats(stats: SimStats, state: dict, delta: int) -> None:
-    stats.absorb_shifted(SimStats.from_dict(state), delta)
-
-
-def apply_chunk_ooo(run, worker: dict, delta: int) -> None:
-    """Merge a worker's exit snapshot into the live OOOVA parent run."""
-    from heapq import heapify
-
-    run.last_rename = int(worker["last_rename"]) + delta
-    run.fetch_resume = int(worker["fetch_resume"]) + delta
-    run.horizon = max(run.horizon, int(worker["horizon"]) + delta)
-    for cls, file in run.rename.files.items():
-        wfile = worker["rename"][cls.value]
-        for ident, ready, first_result, from_load in wfile["regs"]:
-            reg = file.registers[int(ident)]
-            reg.ready = int(ready) + delta
-            reg.first_result = int(first_result) + delta
-            reg.from_load = bool(from_load)
-        file.mapping = {
-            int(logical): file.registers[int(ident)]
-            for logical, ident in wfile["mapping"]
-        }
-        file.free = {
-            int(ident): int(avail) + delta for ident, avail in wfile["free"]
-        }
-        file.allocation_stalls += int(wfile["allocation_stalls"])
-        file.allocation_stall_cycles += int(wfile["allocation_stall_cycles"])
-    rob = run.rob
-    wrob = worker["rob"]
-    rob._occupancy = [int(t) + delta for t in wrob["occupancy"]]
-    heapify(rob._occupancy)
-    rob._recent_commits.clear()
-    rob._recent_commits.extend(int(t) + delta for t in wrob["recent"])
-    rob.last_commit = int(wrob["last_commit"]) + delta
-    rob.allocation_stalls += int(wrob["allocation_stalls"])
-    rob.allocation_stall_cycles += int(wrob["allocation_stall_cycles"])
-    rob.committed += int(wrob["committed"])
-    for kind, queue in run.queues.queues.items():
-        wq = worker["queues"][kind.value]
-        queue._departures = [int(t) + delta for t in wq["departures"]]
-        heapify(queue._departures)
-        queue.admissions += int(wq["admissions"])
-        queue.full_stalls += int(wq["full_stalls"])
-        queue.full_stall_cycles += int(wq["full_stall_cycles"])
-    predictions = run.predictor.predictions + int(worker["predictor"]["predictions"])
-    mispredictions = (
-        run.predictor.mispredictions + int(worker["predictor"]["mispredictions"]))
-    run.predictor.restore(worker["predictor"])
-    run.predictor.predictions = predictions
-    run.predictor.mispredictions = mispredictions
-    wpipe = worker["mempipe"]
-    if int(wpipe["pipe"]["last_exit"]) >= 0:
-        run.mempipe.pipe.last_exit = int(wpipe["pipe"]["last_exit"]) + delta
-    run.mempipe.dependence_stalls += int(wpipe["dependence_stalls"])
-    shifted_pending = {
-        "pipe": {"last_exit": run.mempipe.pipe.last_exit},
-        "pending": [
-            [seq, start, end, is_store, int(done) + delta]
-            for seq, start, end, is_store, done in wpipe["pending"]
-        ],
-        "dependence_stalls": run.mempipe.dependence_stalls,
-    }
-    run.mempipe.restore(shifted_pending)
-    _apply_memory(run.memory, worker["memory"], delta)
-    _extend_gap(run.fu1, worker["fu1"], delta)
-    _extend_gap(run.fu2, worker["fu2"], delta)
-    for unit, key in ((run.a_unit, "a_unit"), (run.s_unit, "s_unit")):
-        # the parent's old issue slots all sit at cycles ≤ Δ and are
-        # dominated; only the worker's (shifted) slots can matter again
-        unit._slots = {
-            int(cycle) + delta: int(count)
-            for cycle, count in worker[key]["slots"]
-        }
-        unit.operations += int(worker[key]["operations"])
-    if run.loadelim is not None and worker["loadelim"] is not None:
-        for table in run.loadelim.all_tables():
-            wtable = worker["loadelim"]["tables"][table.name]
-            matches = table.matches + int(wtable["matches"])
-            invalidations = table.invalidations + int(wtable["invalidations"])
-            table.restore(wtable)
-            table.matches = matches
-            table.invalidations = invalidations
-        run.loadelim.vector_loads_eliminated += int(
-            worker["loadelim"]["vector_loads_eliminated"])
-        run.loadelim.scalar_loads_eliminated += int(
-            worker["loadelim"]["scalar_loads_eliminated"])
-    _apply_stats(run.stats, worker["stats"], delta)
-
-
-def apply_chunk_ref(run, worker: dict, delta: int) -> None:
-    """Merge a worker's exit snapshot into the live reference parent run."""
-    from repro.isa.registers import RegClass, Register
-    from repro.refsim.machine import _RegState
-
-    run.issue_ready = int(worker["issue_ready"]) + delta
-    run.horizon = max(run.horizon, int(worker["horizon"]) + delta)
-    for cls, index, ready, first_result, from_load, read_until in worker["regs"]:
-        run.regs[Register(RegClass(cls), int(index))] = _RegState(
-            ready=int(ready) + delta,
-            first_result=int(first_result) + delta,
-            from_load=bool(from_load),
-            read_until=int(read_until) + delta,
-        )
-    for unit in (run.fu1, run.fu2, run.mem_unit):
-        unit.free_at = int(worker["units"][unit.name]) + delta
-    _apply_memory(run.memory, worker["memory"], delta)
-    regfile = run.regfile
-    for banks, key in ((regfile._read_ports, "read"),
-                       (regfile._write_ports, "write")):
-        for bank, bank_state in zip(banks, worker["regfile"][key]):
-            for port, port_state in zip(bank, bank_state):
-                _extend_gap(port, port_state, delta)
-    regfile.read_conflict_delay += int(worker["regfile"]["read_conflict_delay"])
-    regfile.write_conflict_delay += int(worker["regfile"]["write_conflict_delay"])
-    _apply_stats(run.stats, worker["stats"], delta)
 
 
 def apply_chunk(run, worker: dict, delta: int) -> None:
@@ -409,3 +96,31 @@ def apply_chunk(run, worker: dict, delta: int) -> None:
             f"{model.name!r} run"
         )
     model.apply_chunk(run, worker, delta)
+
+
+# ---------------------------------------------------------------------------
+# Structural projections and digests
+# ---------------------------------------------------------------------------
+
+def ooo_structural(rename, predictor, loadelim) -> dict:
+    """The stream-determined part of an OOOVA-family state.
+
+    Works on the live components of a run *or* of a scout — both hold the
+    same component objects, and each component projects its own structural
+    share (``RenameUnit.structural``, ``BranchPredictor.structural``,
+    ``LoadEliminationUnit.structural``).  Free lists are recorded as
+    ordered ident lists (the FIFO allocation order); availability times are
+    timing state and excluded.  Tag tables keep insertion order
+    (first-match semantics); mapping and BTB entries are sorted because
+    their iteration order is never observed.
+    """
+    state: dict = {"rename": rename.structural(), "tags": None}
+    state.update(predictor.structural())
+    if loadelim is not None:
+        state["tags"] = loadelim.structural()
+    return state
+
+
+def structural_digest(structural: dict | None) -> str:
+    """Stable hex digest of a structural projection (canonical recipe)."""
+    return state_digest({"version": BOUNDARY_VERSION, "structural": structural})

@@ -4,8 +4,9 @@ The OOOVA's rename maps, free-list order, branch-predictor contents and
 load-elimination tag tables evolve as a pure function of the instruction
 stream: allocation pops the free list in FIFO order, releases happen in
 program order, predictor updates and tag matches read only trace fields.
-The scout replays exactly the structural side effects of
-:meth:`repro.ooo.machine._OOORun._process` — driving *real*
+The scout replays exactly the structural side effects of the OOOVA's
+dispatch handlers (:class:`repro.ooo.machine._OOORun` — ``decode``, the
+``DISPATCH``-table class handlers, ``retire``) — driving *real*
 :class:`RenameUnit` / :class:`BranchPredictor` /
 :class:`LoadEliminationUnit` instances, in the same call order — which is
 cheap (no resources, queues or interval bookkeeping) and lets every chunk
@@ -100,12 +101,13 @@ class StructuralScout:
             table.invalidate(phys.ident)
 
     def step(self, dyn: DynInstr) -> None:
-        """Mirror the structural side effects of ``_OOORun._process``.
+        """Mirror the structural side effects of one ``_OOORun`` step.
 
-        Call order matters and is kept identical to the timing simulator:
-        sources are read (lazily binding initial mappings) before the
-        destination is renamed, and old mappings are released afterwards in
-        the same order the timing model releases them at commit.
+        Call order matters and is kept identical to the timing simulator's
+        dispatch handlers: sources are read (lazily binding initial
+        mappings) before the destination is renamed, and old mappings are
+        released afterwards in the same order the timing model releases
+        them at commit (``retire``).
         """
         kind = dyn.kind
         released: list[tuple[RegClass, object]] = []

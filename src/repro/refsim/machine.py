@@ -17,6 +17,12 @@ under the chaining rules, a register-bank port is unavailable, or a register
 hazard exists), issue stalls and everything behind it waits.  That stall
 behaviour — and the memory-port idle time it creates — is what Figures 3 and
 4 of the paper quantify and what the OOOVA is designed to remove.
+
+Like the OOOVA, the machine is declared on the component kernel
+(:class:`repro.machine.core.StagedMachine`): the architected-register
+timing map and the three functional units are components of their own, and
+``snapshot``/``restore``/quiescence/chunk-merging are derived from the
+component registry rather than hand-written.
 """
 
 from __future__ import annotations
@@ -26,8 +32,10 @@ from dataclasses import dataclass
 from repro.common.errors import SimulationError
 from repro.common.params import ReferenceParams
 from repro.common.stats import SimStats
-from repro.isa.opcodes import InstrKind, Opcode
+from repro.isa.opcodes import InstrKind
 from repro.isa.registers import RegClass, Register
+from repro.machine.component import ComponentBase
+from repro.machine.core import StagedMachine
 from repro.memory.system import MemorySystem
 from repro.refsim.regfile import BankedVectorRegisterFile
 from repro.trace.records import DynInstr, Trace
@@ -55,6 +63,90 @@ class _UnitState:
     free_at: int = 0
 
 
+class _RegTimings(ComponentBase):
+    """Timing states of the architected registers (grown lazily on first use)."""
+
+    def __init__(self) -> None:
+        self.map: dict[Register, _RegState] = {}
+
+    def get(self, register: Register) -> _RegState:
+        state = self.map.get(register)
+        if state is None:
+            state = _RegState()
+            self.map[register] = state
+        return state
+
+    def snapshot(self) -> list:
+        return [
+            [reg.cls.value, reg.index, st.ready, st.first_result,
+             bool(st.from_load), st.read_until]
+            for reg, st in self.map.items()
+        ]
+
+    def restore(self, state: list) -> None:
+        self.map = {
+            Register(RegClass(cls), int(index)): _RegState(
+                ready=int(ready),
+                first_result=int(first_result),
+                from_load=bool(from_load),
+                read_until=int(read_until),
+            )
+            for cls, index, ready, first_result, from_load, read_until in state
+        }
+
+    def reset(self) -> None:
+        self.map = {}
+
+    def quiescent(self, anchor: int) -> bool:
+        return not any(
+            st.ready > anchor or st.read_until > anchor for st in self.map.values()
+        )
+
+    def absorb(self, state: list, delta: int) -> None:
+        """Adopt the worker's (shifted) register timings.
+
+        Registers the worker never touched keep the parent's entries, which
+        quiescence proved are dominated by the anchor anyway.
+        """
+        for cls, index, ready, first_result, from_load, read_until in state:
+            self.map[Register(RegClass(cls), int(index))] = _RegState(
+                ready=int(ready) + delta,
+                first_result=int(first_result) + delta,
+                from_load=bool(from_load),
+                read_until=int(read_until) + delta,
+            )
+
+
+class _UnitSet(ComponentBase):
+    """The three functional units (FU1, FU2, MEM) as one component."""
+
+    def __init__(self) -> None:
+        self.fu1 = _UnitState("FU1")
+        self.fu2 = _UnitState("FU2")
+        self.mem_unit = _UnitState("MEM")
+
+    def all_units(self) -> tuple[_UnitState, _UnitState, _UnitState]:
+        return (self.fu1, self.fu2, self.mem_unit)
+
+    def snapshot(self) -> dict:
+        return {unit.name: unit.free_at for unit in self.all_units()}
+
+    def restore(self, state: dict) -> None:
+        for unit in self.all_units():
+            unit.free_at = int(state[unit.name])
+
+    def reset(self) -> None:
+        for unit in self.all_units():
+            unit.free_at = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        return all(unit.free_at <= anchor for unit in self.all_units())
+
+    def absorb(self, state: dict, delta: int) -> None:
+        for unit in self.all_units():
+            unit.free_at = int(state[unit.name]) + delta
+
+
 class ReferenceSimulator:
     """Trace-driven timing simulator of the reference (in-order) machine."""
 
@@ -66,45 +158,45 @@ class ReferenceSimulator:
         return _ReferenceRun(self.params, trace).execute()
 
 
-class _ReferenceRun:
+class _ReferenceRun(StagedMachine):
     """State of one simulation; separated so the simulator object is reusable."""
 
+    KIND = "ref"
+    SNAPSHOT_SCALARS = ("issue_ready", "horizon")
+    ABSORB_SHIFT = ("issue_ready",)
+    DISPATCH = {
+        InstrKind.VECTOR_ALU: "_run_vector_compute",
+        InstrKind.VECTOR_LOAD: "_run_vector_memory",
+        InstrKind.VECTOR_STORE: "_run_vector_memory",
+        InstrKind.SCALAR_LOAD: "_run_scalar_memory",
+        InstrKind.SCALAR_STORE: "_run_scalar_memory",
+        InstrKind.BRANCH: "_run_branch",
+    }
+    DEFAULT_HANDLER = "_run_scalar"
+
     def __init__(self, params: ReferenceParams, trace: Trace) -> None:
-        self.params = params
-        self.trace = trace
-        self.lat = params.latencies
-        self.memory = MemorySystem(params.memory, params.latencies)
-        self.regfile = BankedVectorRegisterFile(
-            params.num_vregs,
-            params.vregs_per_bank,
-            params.bank_read_ports,
-            params.bank_write_ports,
+        super().__init__(params, trace)
+        self.regs = self.register_component("regs", _RegTimings())
+        self.units = self.register_component("units", _UnitSet())
+        self.fu1 = self.units.fu1
+        self.fu2 = self.units.fu2
+        self.mem_unit = self.units.mem_unit
+        self.memory = self.register_component(
+            "memory", MemorySystem(params.memory, params.latencies))
+        self.regfile = self.register_component(
+            "regfile",
+            BankedVectorRegisterFile(
+                params.num_vregs,
+                params.vregs_per_bank,
+                params.bank_read_ports,
+                params.bank_write_ports,
+            ),
         )
-        self.stats = SimStats()
-        self.regs: dict[Register, _RegState] = {}
-        self.fu1 = _UnitState("FU1")
-        self.fu2 = _UnitState("FU2")
-        self.mem_unit = _UnitState("MEM")
-        self.issue_ready = 0
-        self.horizon = 0
 
     # -- helpers ------------------------------------------------------------
 
     def _reg(self, register: Register) -> _RegState:
-        state = self.regs.get(register)
-        if state is None:
-            state = _RegState()
-            self.regs[register] = state
-        return state
-
-    def _advance_horizon(self, *times: int) -> None:
-        for time in times:
-            if time > self.horizon:
-                self.horizon = time
-
-    def _vector_effective_latency(self, opcode: Opcode) -> int:
-        op_latency = self.lat.vector_op_latency(opcode.info.latency_class)
-        return self.lat.read_crossbar + op_latency + self.lat.write_crossbar
+        return self.regs.get(register)
 
     def _source_ready(self, register: Register, for_store: bool) -> int:
         """Earliest cycle a consumer may start reading ``register``."""
@@ -122,31 +214,6 @@ class _ReferenceRun:
         state = self._reg(register)
         return max(state.ready, state.read_until)
 
-    # -- main loop ------------------------------------------------------------
-
-    def execute(self) -> SimStats:
-        self.run_slice(self.trace)
-        return self.finalise()
-
-    def run_slice(self, instructions) -> None:
-        """Process ``instructions`` (any iterable of :class:`DynInstr`).
-
-        State carries over between calls; see the identically named method of
-        the OOOVA run for how the chunked simulator uses this.
-        """
-        for dyn in instructions:
-            kind = dyn.kind
-            if kind is InstrKind.VECTOR_ALU:
-                self._run_vector_compute(dyn)
-            elif kind in (InstrKind.VECTOR_LOAD, InstrKind.VECTOR_STORE):
-                self._run_vector_memory(dyn)
-            elif kind in (InstrKind.SCALAR_LOAD, InstrKind.SCALAR_STORE):
-                self._run_scalar_memory(dyn)
-            elif kind is InstrKind.BRANCH:
-                self._run_branch(dyn)
-            else:
-                self._run_scalar(dyn)
-
     def finalise(self) -> SimStats:
         """Derive the final :class:`SimStats` from the accumulated state."""
         self.stats.cycles = self.horizon
@@ -155,48 +222,23 @@ class _ReferenceRun:
 
     # -- chunked-simulation state (see repro.parallel) ------------------------
 
-    def snapshot(self) -> dict:
-        """JSON-compatible snapshot of all mutable machine state."""
-        return {
-            "kind": "ref",
-            "issue_ready": self.issue_ready,
-            "horizon": self.horizon,
-            "regs": [
-                [reg.cls.value, reg.index, st.ready, st.first_result,
-                 bool(st.from_load), st.read_until]
-                for reg, st in self.regs.items()
-            ],
-            "units": {
-                unit.name: unit.free_at
-                for unit in (self.fu1, self.fu2, self.mem_unit)
-            },
-            "memory": self.memory.snapshot(),
-            "regfile": self.regfile.snapshot(),
-            "stats": self.stats.to_dict(),
-        }
+    def chunk_anchor(self) -> int:
+        """``issue_ready`` — the earliest post-cut issue cycle."""
+        return self.issue_ready
 
-    def restore(self, state: dict) -> None:
-        """Reinstate a :meth:`snapshot` (replaces all current state)."""
-        self.issue_ready = int(state["issue_ready"])
-        self.horizon = int(state["horizon"])
-        self.regs = {
-            Register(RegClass(cls), int(index)): _RegState(
-                ready=int(ready),
-                first_result=int(first_result),
-                from_load=bool(from_load),
-                read_until=int(read_until),
-            )
-            for cls, index, ready, first_result, from_load, read_until in state["regs"]
-        }
-        for unit in (self.fu1, self.fu2, self.mem_unit):
-            unit.free_at = int(state["units"][unit.name])
-        self.memory.restore(state["memory"])
-        self.regfile.restore(state["regfile"])
-        self.stats = SimStats.from_dict(state["stats"])
+    def machine_quiescent(self, anchor: int) -> bool:
+        """One site escapes the ``max(old, new)`` pattern: unit selection.
+
+        :meth:`_select_compute_unit` compares ``fu1.free_at <=
+        fu2.free_at`` — two old values against *each other*.  The canonical
+        frame zeroes both and therefore prefers FU1, so a cut is only safe
+        when the true state agrees with that preference.
+        """
+        return self.fu1.free_at <= self.fu2.free_at
 
     # -- instruction classes ----------------------------------------------------
 
-    def _run_scalar(self, dyn: DynInstr) -> None:
+    def _run_scalar(self, dyn: DynInstr, ctx: object) -> None:
         self.stats.scalar_instructions += 1
         start = self.issue_ready
         for src in dyn.srcs:
@@ -213,7 +255,7 @@ class _ReferenceRun:
         self.issue_ready = start + 1
         self._advance_horizon(done, start + 1)
 
-    def _run_branch(self, dyn: DynInstr) -> None:
+    def _run_branch(self, dyn: DynInstr, ctx: object) -> None:
         self.stats.branch_instructions += 1
         start = self.issue_ready
         for src in dyn.srcs:
@@ -222,7 +264,7 @@ class _ReferenceRun:
         self.issue_ready = start + 1 + penalty
         self._advance_horizon(self.issue_ready)
 
-    def _run_scalar_memory(self, dyn: DynInstr) -> None:
+    def _run_scalar_memory(self, dyn: DynInstr, ctx: object) -> None:
         self.stats.scalar_instructions += 1
         start = self.issue_ready
         for src in dyn.srcs:
@@ -252,7 +294,7 @@ class _ReferenceRun:
             return self.fu1
         return self.fu2
 
-    def _run_vector_compute(self, dyn: DynInstr) -> None:
+    def _run_vector_compute(self, dyn: DynInstr, ctx: object) -> None:
         self.stats.vector_instructions += 1
         self.stats.vector_operations += dyn.vl
         vl = max(dyn.vl, 1)
@@ -316,7 +358,7 @@ class _ReferenceRun:
         if dyn.dest is not None and dyn.dest.cls is RegClass.V:
             self.regfile.reserve_write(dyn.dest, start + latency, vl)
 
-    def _run_vector_memory(self, dyn: DynInstr) -> None:
+    def _run_vector_memory(self, dyn: DynInstr, ctx: object) -> None:
         self.stats.vector_instructions += 1
         self.stats.vector_operations += dyn.vl
         vl = max(dyn.vl, 1)

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from repro.common.resources import GapResource
 from repro.isa.registers import RegClass, Register
+from repro.machine.component import ComponentBase
 
 
-class BankedVectorRegisterFile:
+class BankedVectorRegisterFile(ComponentBase):
     """Tracks read/write port occupancy of the banked register file."""
 
     def __init__(self, num_vregs: int, regs_per_bank: int, read_ports: int, write_ports: int):
@@ -58,6 +59,33 @@ class BankedVectorRegisterFile:
                 port.restore(port_state)
         self.read_conflict_delay = int(state["read_conflict_delay"])
         self.write_conflict_delay = int(state["write_conflict_delay"])
+
+    def reset(self) -> None:
+        """Return to the freshly constructed (idle) state."""
+        for banks in (self._read_ports, self._write_ports):
+            for bank in banks:
+                for port in bank:
+                    port.reset()
+        self.read_conflict_delay = 0
+        self.write_conflict_delay = 0
+
+    def quiescent(self, anchor: int) -> bool:
+        """True when no port reservation extends past ``anchor``."""
+        return all(
+            port.quiescent(anchor)
+            for banks in (self._read_ports, self._write_ports)
+            for bank in banks
+            for port in bank
+        )
+
+    def absorb(self, state: dict, delta: int) -> None:
+        """Extend every port with the worker's (shifted) slots; delays add."""
+        for banks, key in ((self._read_ports, "read"), (self._write_ports, "write")):
+            for bank, bank_state in zip(banks, state[key]):
+                for port, port_state in zip(bank, bank_state):
+                    port.absorb(port_state, delta)
+        self.read_conflict_delay += int(state["read_conflict_delay"])
+        self.write_conflict_delay += int(state["write_conflict_delay"])
 
     def bank_of(self, register: Register) -> int:
         if register.cls is not RegClass.V:

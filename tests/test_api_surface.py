@@ -20,6 +20,7 @@ PUBLIC_SURFACE = (
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
     "Machine",
+    "MachineConfig",
     "MachineModel",
     "RunRequest",
     "RunResult",
@@ -29,6 +30,7 @@ PUBLIC_SURFACE = (
     "create_run",
     "engine_summary_dict",
     "get_machine_model",
+    "machine_config",
     "machine_names",
     "model_for_params",
     "register_machine",

@@ -63,8 +63,8 @@ class TestConfigs:
 
     def test_standard_configs(self):
         configs = standard_configs()
-        assert set(configs) == {"reference", "ooo", "ooo-late", "ooo-late-sle",
-                                "ooo-late-sle-vle"}
+        assert set(configs) == {"reference", "inorder", "ooo", "ooo-late",
+                                "ooo-late-sle", "ooo-late-sle-vle"}
 
     def test_get_config(self):
         assert get_config("ooo").name == "ooo"

@@ -15,7 +15,7 @@ import functools
 
 import pytest
 
-from repro.core.config import ooo_config, reference_config
+from repro.core.config import inorder_config, ooo_config, reference_config
 from repro.core.simulator import run
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -67,3 +67,35 @@ class TestReferenceVsOOODifferential:
             for unit in ("FU1", "FU2", "MEM"):
                 assert 0 <= stats.unit_busy_cycles(unit) <= stats.cycles
             assert stats.address_port_busy_cycles <= stats.cycles
+
+
+@functools.lru_cache(maxsize=None)
+def _inorder(name):
+    """Simulate ``name`` on the registered in-order+renaming intermediate."""
+    return run(name, inorder_config(), scale=SCALE)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestMachineOrdering:
+    """The registered ``inorder`` machine sits between the two extremes.
+
+    Renaming alone must never hurt (reference >= inorder) and giving up
+    out-of-order issue must never help (inorder >= ooo) — on every
+    workload, the sanity ordering the machine-comparison exhibit (Table 4)
+    rests on.
+    """
+
+    def test_reference_inorder_ooo_cycle_ordering(self, name):
+        reference, ooo = _pair(name)
+        inorder = _inorder(name)
+        assert 0 < ooo.cycles <= inorder.cycles <= reference.cycles
+
+    def test_inorder_executes_the_same_work(self, name):
+        reference, _ = _pair(name)
+        inorder = _inorder(name)
+        ref_stats, ino_stats = reference.stats, inorder.stats
+        assert ref_stats.scalar_instructions == ino_stats.scalar_instructions
+        assert ref_stats.vector_instructions == ino_stats.vector_instructions
+        assert ref_stats.branch_instructions == ino_stats.branch_instructions
+        assert ref_stats.vector_operations == ino_stats.vector_operations
+        assert ref_stats.traffic.total_ops == ino_stats.traffic.total_ops

@@ -1,0 +1,271 @@
+"""The component-based machine kernel and the machine-model registry.
+
+Everything here is auto-parameterised over *all* registered machines via
+:func:`repro.core.machines.machine_names` — a newly registered model is
+covered by the snapshot/restore round-trip, digest-stability, reset and
+component-contract batteries without touching this file.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import machine_config
+from repro.core.machines import create_run, get_machine_model, machine_names
+from repro.machine.component import state_digest
+from repro.workloads.registry import get_workload
+
+MACHINES = machine_names()
+
+#: a short but non-trivial prefix of a real workload trace
+TRACE = get_workload("trfd", "tiny").trace()
+
+
+def _fresh_run(name):
+    model = get_machine_model(name)
+    return model.factory(model.params_type(), TRACE)
+
+
+class TestRegistryParameterisedRoundTrips:
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_snapshot_restore_round_trips_mid_run(self, name):
+        """snapshot → restore on a fresh run resumes bit-identically."""
+        cut = len(TRACE) // 2
+        full = _fresh_run(name)
+        full.run_slice(TRACE.instructions)
+        expected = full.finalise().to_dict()
+
+        first = _fresh_run(name)
+        first.run_slice(TRACE.instructions[:cut])
+        state = json.loads(json.dumps(first.snapshot()))  # force JSON types
+
+        second = _fresh_run(name)
+        second.restore(state)
+        second.run_slice(TRACE.instructions[cut:])
+        assert second.finalise().to_dict() == expected
+
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_snapshot_is_stable_under_restore(self, name):
+        """restore(snapshot()) is the identity on the snapshot itself."""
+        run = _fresh_run(name)
+        run.run_slice(TRACE.instructions[: len(TRACE) // 3])
+        state = run.snapshot()
+        twin = _fresh_run(name)
+        twin.restore(json.loads(json.dumps(state)))
+        assert twin.snapshot() == state
+
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_digest_stability(self, name):
+        """Digests are deterministic and survive a JSON round-trip."""
+        run = _fresh_run(name)
+        run.run_slice(TRACE.instructions[:100])
+        twin = _fresh_run(name)
+        twin.restore(json.loads(json.dumps(run.snapshot())))
+        assert run.digest() == twin.digest()
+        assert run.digest() == run.digest()
+        # advancing the machine must change the digest
+        run.run_slice(TRACE.instructions[100:110])
+        assert run.digest() != twin.digest()
+
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_reset_returns_to_fresh_state(self, name):
+        run = _fresh_run(name)
+        run.run_slice(TRACE.instructions[:120])
+        run.reset()
+        fresh = _fresh_run(name)
+        assert run.snapshot() == fresh.snapshot()
+        assert run.digest() == fresh.digest()
+
+
+class TestComponentContract:
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_every_component_satisfies_the_contract(self, name):
+        """snapshot/restore/reset/digest on every registered component."""
+        run = _fresh_run(name)
+        components = run.components
+        assert components, f"{name} declares no components"
+        for comp_name, component in components.items():
+            if component is None:  # optional component not instantiated
+                continue
+            for method in ("snapshot", "restore", "reset", "digest"):
+                assert callable(getattr(component, method, None)), (
+                    f"{name}.{comp_name} lacks {method}()"
+                )
+
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_component_snapshots_compose_the_machine_snapshot(self, name):
+        """The machine snapshot is derived from the component registry."""
+        run = _fresh_run(name)
+        run.run_slice(TRACE.instructions[:80])
+        state = run.snapshot()
+        assert state["kind"] == run.KIND
+        for comp_name, component in run.components.items():
+            if component is None:
+                assert state[comp_name] is None
+            else:
+                assert state[comp_name] == component.snapshot()
+
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_component_digests_are_canonical(self, name):
+        """Equal snapshots digest equally across distinct instances."""
+        run = _fresh_run(name)
+        twin = _fresh_run(name)
+        for comp_name, component in run.components.items():
+            if component is None:
+                continue
+            other = twin.components[comp_name]
+            assert component.digest() == other.digest(), comp_name
+            assert component.digest() == state_digest(component.snapshot())
+
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_dispatch_covers_the_trace(self, name):
+        """Every instruction kind in a real trace has a handler."""
+        run = _fresh_run(name)
+        handlers = getattr(run, "_handlers", None)
+        if handlers is None:
+            pytest.skip("model is not built on the staged kernel")
+        default = run._default_handler
+        for dyn in TRACE.instructions:
+            assert handlers.get(dyn.kind, default) is not None
+
+
+class TestMachineConfigResolution:
+    def test_every_registered_machine_has_a_default_config(self):
+        for name in MACHINES:
+            config = machine_config(name)
+            assert config.params is not None
+
+    def test_machine_config_resolves_standard_names_too(self):
+        assert machine_config("ooo-late").name == "ooo-late"
+
+    def test_unknown_machine_rejected(self):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            machine_config("warp-drive")
+
+
+class TestInOrderIntermediate:
+    """The registered third machine: in-order issue + renaming."""
+
+    def test_params_round_trip_under_their_own_kind(self):
+        from repro.common.params import params_from_dict, params_to_dict
+        from repro.machine.inorder import InOrderParams
+
+        params = InOrderParams(num_phys_vregs=32).with_memory_latency(7)
+        payload = json.loads(json.dumps(params_to_dict(params)))
+        assert payload["kind"] == "inorder"
+        rebuilt = params_from_dict(payload)
+        assert type(rebuilt) is InOrderParams
+        assert rebuilt == params
+
+    def test_issue_is_in_program_order(self):
+        """No instruction may begin execution before an older one."""
+        from repro.machine.inorder import _InOrderRun, InOrderParams
+
+        starts = []
+
+        class Probe(_InOrderRun):
+            def retire(self, dyn, ctx, result):
+                starts.append(result.start)
+                super().retire(dyn, ctx, result)
+
+        run = Probe(InOrderParams(), TRACE)
+        run.run_slice(TRACE.instructions[:300])
+        assert starts == sorted(starts)
+        # single issue per cycle: strictly increasing
+        assert all(b > a for a, b in zip(starts, starts[1:]))
+
+
+class TestMinimalRegisteredMachine:
+    """A third-party machine with a minimal params dataclass (no nested
+    latency/memory blocks) must survive the engine's serialisation path."""
+
+    @pytest.fixture(scope="class")
+    def registered(self):
+        from dataclasses import dataclass
+
+        from repro.api import MachineModel, register_machine
+        from repro.common.stats import SimStats
+
+        @dataclass(frozen=True)
+        class FlatParams:
+            cost_per_instruction: int = 2
+
+        class FlatRun:
+            def __init__(self, params, trace):
+                self.params = params
+                self.cycles = 0
+
+            def run_slice(self, instructions):
+                for _ in instructions:
+                    self.cycles += self.params.cost_per_instruction
+
+            def finalise(self):
+                stats = SimStats()
+                stats.cycles = self.cycles
+                return stats
+
+            def snapshot(self):
+                return {"kind": "kernel-test-flat", "cycles": self.cycles}
+
+            def restore(self, state):
+                self.cycles = int(state["cycles"])
+
+        model = register_machine(MachineModel(
+            name="kernel-test-flat",
+            params_type=FlatParams,
+            factory=lambda params, trace: FlatRun(params, trace),
+            snapshot_kind="kernel-test-flat",
+        ))
+        yield model
+        # both registries are process-global; drop the stub so registry-
+        # driven tests elsewhere keep seeing only the real machines
+        from repro.common import params as params_module
+        from repro.core import machines as machines_module
+
+        machines_module._REGISTRY.pop("kernel-test-flat", None)
+        params_module._PARAMS_KINDS.pop("kernel-test-flat", None)
+
+    def test_params_round_trip_without_latency_blocks(self, registered):
+        from repro.common.params import params_from_dict, params_to_dict
+
+        params = registered.params_type(cost_per_instruction=3)
+        payload = json.loads(json.dumps(params_to_dict(params)))
+        assert payload == {"kind": "kernel-test-flat", "cost_per_instruction": 3}
+        assert params_from_dict(payload) == params
+
+    def test_engine_grid_and_store_round_trip(self, registered, tmp_path):
+        from repro.api import MachineConfig, RunRequest, Session
+
+        config = MachineConfig("kernel-test-flat", registered.params_type())
+        with Session(cache_dir=str(tmp_path)) as session:
+            grid = session.run(RunRequest(workloads=("trfd",),
+                                          configs=(config,), scale="small"))
+            first = grid.get("trfd", config).cycles
+        # a second session must read the persisted result back
+        with Session(cache_dir=str(tmp_path)) as session:
+            again = session.result("trfd", config, scale="small")
+            assert again.cycles == first
+            assert session.engine.simulated == 0
+
+    def test_corrupt_payload_raises_configuration_error(self, registered):
+        from repro.common.errors import ConfigurationError
+        from repro.common.params import params_from_dict
+
+        with pytest.raises(ConfigurationError):
+            params_from_dict({"kind": "kernel-test-flat", "no_such_field": 1})
+
+
+def test_custom_machine_example_runs():
+    """The worked third-party registration example must keep working."""
+    example = Path(__file__).resolve().parent.parent / "examples" / "custom_machine.py"
+    result = subprocess.run(
+        [sys.executable, str(example), "dyfesm"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "bit-identical by exact replay" in result.stdout

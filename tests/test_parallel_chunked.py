@@ -13,7 +13,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.config import get_config, standard_configs
+from repro.core.config import get_config, machine_config, standard_configs
+from repro.core.machines import machine_names
 from repro.core.runner import ExperimentEngine, ExperimentSpec, ResultStore, set_engine
 from repro.core.simulator import simulate_trace
 from repro.parallel import ChunkStore, ChunkedSimulation, simulate_trace_chunked
@@ -145,9 +146,12 @@ class TestPlanning:
 
 
 class TestSnapshotRestore:
-    @pytest.mark.parametrize("config_name", ["reference", "ooo-late-sle-vle"])
+    # every registered machine (via the registry, not a hand-kept list),
+    # plus the fully loaded OOOVA variant for load-elimination coverage
+    @pytest.mark.parametrize(
+        "config_name", tuple(machine_names()) + ("ooo-late-sle-vle",))
     def test_mid_run_snapshot_resumes_identically(self, config_name):
-        config = get_config(config_name)
+        config = machine_config(config_name)
         trace = _trace("flo52", "tiny")
         from repro.parallel.driver import _make_run
 
@@ -168,8 +172,8 @@ class TestSnapshotRestore:
     def test_quiescence_of_fresh_machines(self):
         from repro.parallel.driver import _make_run
 
-        for name in ("reference", "ooo"):
-            run = _make_run(get_config(name).params, "t")
+        for name in machine_names():
+            run = _make_run(machine_config(name).params, "t")
             assert quiescent(run)
 
 
