@@ -16,6 +16,13 @@ per vector *element* and a flat memory penalty per memory instruction —
 registers it through :mod:`repro.api` only, and runs it against the
 built-in machines, monolithically and chunked.
 
+Before shipping a machine of your own, run the static contract analyzer
+over it — ``repro check path/to/your_machine.py`` (or
+``python -m repro.checks``) — it flags snapshot/restore/reset state
+drift, asymmetric snapshot keys, impure digests and nondeterministic
+iteration *before* they surface as a chunked-vs-monolithic digest
+mismatch.  This file is checked in CI the same way.
+
 Run with::
 
     python examples/custom_machine.py [program]

@@ -51,7 +51,7 @@ def main() -> int:
     print(f"Reference (in-order C3400-like) machine: {reference.cycles} cycles, "
           f"memory port idle {100 * reference.stats.memory_port_idle_fraction():.1f}% of the time")
 
-    for regs, config in zip(REGISTER_COUNTS, ooo_configs):
+    for regs, config in zip(REGISTER_COUNTS, ooo_configs, strict=True):
         ooo = grid.get(program, config)
         print(f"OOOVA with {regs:>2} physical vector registers: {ooo.cycles:>9} cycles "
               f"(speedup {grid.speedup(program, config):.2f}, "

@@ -15,7 +15,11 @@ here, with no environment variables and no process-global state:
 * :class:`Machine` / :class:`MachineModel` / :func:`register_machine` —
   the timing-model protocol and registry: new machine models plug into
   single-point simulation, sweep grids and chunked execution without
-  touching any driver code.
+  touching any driver code;
+* :func:`run_checks` / :class:`Finding` — the static component-contract
+  and determinism analyzer behind ``repro check`` (:mod:`repro.checks`),
+  for validating first- and third-party machine components without
+  running them.
 
 Quickstart::
 
@@ -63,12 +67,14 @@ from repro.api.settings import (
     JOBS_ENV,
     Settings,
 )
+from repro.checks import Finding, run_checks
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CHUNK_SIZE_ENV",
     "ExhibitResult",
     "ExhibitSet",
+    "Finding",
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
     "Machine",
@@ -87,4 +93,5 @@ __all__ = [
     "model_for_params",
     "register_machine",
     "resolve_scale",
+    "run_checks",
 ]

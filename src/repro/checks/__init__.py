@@ -1,0 +1,53 @@
+"""Static analysis for the machine-component contract (``repro check``).
+
+The chunked simulator's bit-exactness guarantee (chunked == monolithic,
+see :mod:`repro.parallel`) rests on an invariant no test can prove in
+general: every :class:`~repro.machine.component.MachineComponent` must
+cover *all* of its mutable state in ``snapshot``/``restore``/``reset``,
+and the digest/structural projections must be pure.  A forgotten
+attribute breaks chunk stitching silently — a workload only catches it
+if the drifted field happens to matter at a cut point.
+
+This package enforces the invariant statically: it parses the simulation
+modules with :mod:`ast` (never importing or executing them) and applies
+four rule families:
+
+``state-coverage``
+    every attribute a component mutates outside
+    ``__init__``/``snapshot``/``restore``/``reset`` must be covered by
+    all three of ``snapshot``, ``restore`` and ``reset``;
+``snapshot-symmetry``
+    keys written by ``snapshot`` must be read by ``restore`` and vice
+    versa (checked when both sides use literal keys);
+``digest-purity``
+    ``snapshot``/``digest``/``structural``/``quiescent`` must not mutate
+    ``self`` (directly, through mutating method calls, or by calling
+    ``restore``/``reset``/``absorb``);
+``determinism``
+    no iteration over sets, ``dict.popitem``, ``id()``, builtin
+    ``hash()``, ``random``/``time``/``os.environ``, or ``sum()`` over an
+    unordered collection in simulation-path code.
+
+Genuinely exempt state is suppressed inline — never via a baseline
+file — with a justified comment on the flagged line::
+
+    self._scratch = []  # check: ignore[state-coverage] derived cache, rebuilt on demand
+
+Entry points: :func:`run_checks` (the API), ``repro check`` and
+``python -m repro.checks`` (the CLI), and the ``tests/test_checks.py``
+gate that keeps the repository itself clean.
+"""
+
+from __future__ import annotations
+
+from repro.checks.model import Finding, RULES, exit_code_for
+from repro.checks.runner import DEFAULT_PATHS, main, run_checks
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "Finding",
+    "RULES",
+    "exit_code_for",
+    "main",
+    "run_checks",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.checks`` — same behaviour as ``repro check``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.checks.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(prog="python -m repro.checks"))

@@ -1,0 +1,328 @@
+"""Component discovery and per-class attribute models.
+
+The checker recognises two flavours of contract implementor:
+
+* **plain components** — classes whose MRO (resolved by name across the
+  analyzed modules) provides concrete ``snapshot``, ``restore`` and
+  ``reset`` bodies (abstract ``raise NotImplementedError``/``...``
+  placeholders, like :class:`repro.machine.component.ComponentBase`'s,
+  do not count);
+* **staged machines** — subclasses of
+  :class:`repro.machine.core.StagedMachine`, whose snapshot/restore/
+  reset are *derived* at runtime from ``SNAPSHOT_SCALARS`` and the
+  component registry.  Static mention analysis cannot see through the
+  kernel's ``getattr``/``setattr`` loops, so for these classes coverage
+  is computed from the declarations instead: a mutable attribute is
+  covered when it is a declared snapshot scalar, is bound to
+  ``self.register_component(...)``, or is managed by the kernel itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.checks.astutil import (
+    SourceModule,
+    is_self_attr,
+    iter_self_calls,
+    iter_self_mentions,
+    iter_self_mutations,
+    method_is_abstract,
+    self_arg_name,
+)
+
+#: instance attributes owned by the StagedMachine kernel (always covered)
+KERNEL_MANAGED = frozenset(
+    {
+        "params",
+        "trace",
+        "lat",
+        "horizon",
+        "stats",
+        "_components",
+        "_handlers",
+        "_default_handler",
+    }
+)
+
+#: methods whose mutations are part of the contract, not drift
+CONTRACT_METHODS = frozenset({"__init__", "snapshot", "restore", "reset"})
+
+
+@dataclass
+class ClassModel:
+    """One class definition plus everything the rules ask about it."""
+
+    module: SourceModule
+    node: ast.ClassDef
+    base_names: tuple[str, ...]
+    methods: dict[str, ast.FunctionDef]
+    is_dataclass: bool
+    #: class-level annotated names (dataclass fields / declared attributes)
+    class_fields: dict[str, int]
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def file(self) -> str:
+        return self.module.display
+
+
+@dataclass
+class Project:
+    """All analyzed modules with a by-name class index for MRO walks."""
+
+    modules: list[SourceModule]
+    classes: list[ClassModel] = field(default_factory=list)
+    by_name: dict[str, list[ClassModel]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, modules: list[SourceModule]) -> "Project":
+        project = cls(modules=modules)
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    model = _class_model(module, node)
+                    project.classes.append(model)
+                    project.by_name.setdefault(model.name, []).append(model)
+        return project
+
+    def resolve(self, name: str, from_module: SourceModule) -> ClassModel | None:
+        candidates = self.by_name.get(name, [])
+        if not candidates:
+            return None
+        for candidate in candidates:
+            if candidate.module is from_module:
+                return candidate
+        return candidates[0] if len(candidates) == 1 else None
+
+    def mro(self, model: ClassModel) -> list[ClassModel]:
+        """The class plus every analyzable ancestor, in lookup order."""
+        chain: list[ClassModel] = []
+        seen: set[int] = set()
+        stack = [model]
+        while stack:
+            current = stack.pop(0)
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            chain.append(current)
+            for base in current.base_names:
+                resolved = self.resolve(base, current.module)
+                if resolved is not None:
+                    stack.append(resolved)
+        return chain
+
+    def find_method(
+        self, model: ClassModel, name: str
+    ) -> tuple[ClassModel, ast.FunctionDef] | None:
+        """First *concrete* definition of ``name`` along the MRO."""
+        for owner in self.mro(model):
+            node = owner.methods.get(name)
+            if node is not None:
+                if method_is_abstract(node):
+                    return None
+                return owner, node
+        return None
+
+    def is_component(self, model: ClassModel) -> bool:
+        return all(
+            self.find_method(model, name) is not None
+            for name in ("snapshot", "restore", "reset")
+        )
+
+    def is_staged_machine(self, model: ClassModel) -> bool:
+        for entry in self.mro(model):
+            if entry.name == "StagedMachine" or "StagedMachine" in entry.base_names:
+                return True
+        return False
+
+
+def _class_model(module: SourceModule, node: ast.ClassDef) -> ClassModel:
+    base_names = tuple(
+        base.id if isinstance(base, ast.Name) else base.attr
+        for base in node.bases
+        if isinstance(base, (ast.Name, ast.Attribute))
+    )
+    methods: dict[str, ast.FunctionDef] = {}
+    class_fields: dict[str, int] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef):
+            methods[stmt.name] = stmt
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            class_fields.setdefault(stmt.target.id, stmt.lineno)
+    is_dataclass = any(
+        (isinstance(dec, ast.Name) and dec.id == "dataclass")
+        or (isinstance(dec, ast.Attribute) and dec.attr == "dataclass")
+        or (
+            isinstance(dec, ast.Call)
+            and (
+                (isinstance(dec.func, ast.Name) and dec.func.id == "dataclass")
+                or (isinstance(dec.func, ast.Attribute) and dec.func.attr == "dataclass")
+            )
+        )
+        for dec in node.decorator_list
+    )
+    return ClassModel(
+        module=module,
+        node=node,
+        base_names=base_names,
+        methods=methods,
+        is_dataclass=is_dataclass,
+        class_fields=class_fields,
+    )
+
+
+# ---------------------------------------------------------------------------
+# attribute analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AttributeReport:
+    """Where a class touches its instance attributes."""
+
+    #: attr -> line of its first ``__init__`` (or dataclass field) binding
+    init_lines: dict[str, int]
+    #: attr -> (line, kind) of its first mutation outside the contract methods
+    mutations: dict[str, tuple[int, str]]
+
+
+def attribute_report(project: Project, model: ClassModel) -> AttributeReport:
+    init_lines: dict[str, int] = {}
+    if model.is_dataclass:
+        init_lines.update(model.class_fields)
+    init = model.methods.get("__init__")
+    if init is not None:
+        receiver = self_arg_name(init) or "self"
+        for attr, line, kind in iter_self_mutations(init.body, receiver):
+            if kind in ("store", "augmented store"):
+                init_lines.setdefault(attr, line)
+    mutations: dict[str, tuple[int, str]] = {}
+    for name, method in model.methods.items():
+        if name in CONTRACT_METHODS:
+            continue
+        receiver = self_arg_name(method)
+        if receiver is None:
+            continue
+        for attr, line, kind in iter_self_mutations(method.body, receiver):
+            mutations.setdefault(attr, (line, kind))
+    return AttributeReport(init_lines=init_lines, mutations=mutations)
+
+
+def mention_closure(project: Project, model: ClassModel, method: str) -> set[str]:
+    """Attributes mentioned by ``method``, following ``self.*()`` calls.
+
+    Resolves each reachable method along the class's MRO so helper
+    patterns (``snapshot`` delegating to ``self.all_tables()``) and
+    inherited bodies both contribute their mentions.
+    """
+    mentions: set[str] = set()
+    visited: set[str] = set()
+    queue = [method]
+    while queue:
+        name = queue.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        found = project.find_method(model, name)
+        if found is None:
+            continue
+        _, node = found
+        receiver = self_arg_name(node)
+        if receiver is None:
+            continue
+        mentions.update(iter_self_mentions(node.body, receiver))
+        queue.extend(iter_self_calls(node.body, receiver))
+    return mentions
+
+
+def snapshot_scalars(project: Project, model: ClassModel) -> set[str]:
+    """Union of ``SNAPSHOT_SCALARS`` string constants along the MRO.
+
+    Handles both literal tuples and derived expressions such as
+    ``BASE.SNAPSHOT_SCALARS + ("issue_ready",)`` by collecting every
+    string constant in the assignment's value.
+    """
+    scalars: set[str] = set()
+    for entry in project.mro(model):
+        for stmt in entry.node.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                names = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+                if "SNAPSHOT_SCALARS" in names:
+                    value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.target.id == "SNAPSHOT_SCALARS":
+                    value = stmt.value
+            if value is not None:
+                for node in ast.walk(value):
+                    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                        scalars.add(node.value)
+    return scalars
+
+
+def registered_component_attrs(
+    project: Project, model: ClassModel
+) -> dict[str, int]:
+    """Attrs bound to ``self.register_component(...)`` anywhere in the MRO."""
+    registered: dict[str, int] = {}
+    for entry in project.mro(model):
+        for method in entry.methods.values():
+            receiver = self_arg_name(method)
+            if receiver is None:
+                continue
+            for stmt in ast.walk(
+                ast.Module(body=method.body, type_ignores=[])
+            ):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if not _calls_register_component(stmt.value, receiver):
+                    continue
+                for target in stmt.targets:
+                    attr = is_self_attr(target, receiver)
+                    if attr is not None:
+                        registered.setdefault(attr, stmt.lineno)
+    return registered
+
+
+def _calls_register_component(value: ast.expr, receiver: str) -> bool:
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            attr = is_self_attr(node.func, receiver)
+            if attr == "register_component":
+                return True
+    return False
+
+
+def iter_components(project: Project) -> Iterator[tuple[ClassModel, bool]]:
+    """Every contract implementor as ``(class, is_staged_machine)``.
+
+    The kernel base itself (``StagedMachine``) is reported as staged so
+    its derived snapshot/restore/reset loops are exempt from literal-key
+    symmetry, and purely abstract bases never qualify as components.
+    """
+    for model in project.classes:
+        staged = project.is_staged_machine(model)
+        if staged or project.is_component(model):
+            yield model, staged
+
+
+def covered_attrs_staged(project: Project, model: ClassModel) -> set[str]:
+    covered = set(KERNEL_MANAGED)
+    covered.update(snapshot_scalars(project, model))
+    covered.update(registered_component_attrs(project, model))
+    return covered
+
+
+def coverage_mentions(
+    project: Project, model: ClassModel
+) -> Mapping[str, set[str]]:
+    return {
+        name: mention_closure(project, model, name)
+        for name in ("snapshot", "restore", "reset")
+    }

@@ -1,0 +1,87 @@
+"""Finding and rule model shared by the check rules, runner and reports.
+
+Each rule family owns one bit of the process exit code, so CI (and
+scripts) can tell *which* families fired from the status alone:
+``exit 3`` means state-coverage plus snapshot-symmetry findings, and
+``exit 0`` means the analyzed tree is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+#: rule id -> (exit-code bit, one-line description)
+RULES: Mapping[str, tuple[int, str]] = {
+    "state-coverage": (
+        1,
+        "mutable component state must be covered by snapshot/restore/reset",
+    ),
+    "snapshot-symmetry": (
+        2,
+        "snapshot keys and restore reads must mirror each other",
+    ),
+    "digest-purity": (
+        4,
+        "snapshot/digest/structural/quiescent must not mutate the component",
+    ),
+    "determinism": (
+        8,
+        "simulation code must not depend on unordered iteration or ambient state",
+    ),
+    "malformed-suppression": (
+        16,
+        "check suppression comments must name a known rule and give a reason",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a source line.
+
+    ``hint`` is the actionable half: what to change (or how to suppress
+    with a justification) to make the finding go away.
+    """
+
+    file: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# check: ignore[rule, ...] reason`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+def exit_code_for(findings: Iterable[Finding]) -> int:
+    """Bitwise OR of the exit bits of every rule family that fired."""
+    code = 0
+    for finding in findings:
+        bit, _ = RULES.get(finding.rule, (0, ""))
+        code |= bit
+    return code

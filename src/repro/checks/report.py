@@ -1,0 +1,33 @@
+"""Rendering check findings as text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.checks.model import Finding, RULES, exit_code_for
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary line."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule: dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("all checks passed")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable JSON document (the CI artifact format)."""
+    payload = {
+        "version": 1,
+        "rules": {rule: {"bit": bit, "summary": summary} for rule, (bit, summary) in RULES.items()},
+        "findings": [finding.to_dict() for finding in findings],
+        "exit_code": exit_code_for(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,133 @@
+"""Orchestration: run every rule over a path set and report the result.
+
+:func:`run_checks` is the library API (used by the pytest gate and
+``repro.api``); :func:`main` backs both ``repro check`` and
+``python -m repro.checks``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.checks.astutil import collect_files, load_module
+from repro.checks.contract import Project
+from repro.checks.model import Finding, exit_code_for
+from repro.checks.report import render_json, render_text
+from repro.checks.rules import (
+    check_determinism,
+    check_digest_purity,
+    check_snapshot_symmetry,
+    check_state_coverage,
+)
+
+#: packages the component contract and determinism rules protect by default:
+#: the machine kernel, both timing models, their shared libraries, the
+#: memory system and the chunked simulator that relies on all of them
+DEFAULT_PATHS: tuple[str, ...] = (
+    "src/repro/machine",
+    "src/repro/ooo",
+    "src/repro/refsim",
+    "src/repro/common",
+    "src/repro/memory",
+    "src/repro/parallel",
+)
+
+
+def _default_paths(root: Path) -> list[Path]:
+    present = [root / path for path in DEFAULT_PATHS if (root / path).exists()]
+    if not present:
+        raise FileNotFoundError(
+            f"none of the default check paths exist under {root} — "
+            "pass explicit paths"
+        )
+    return present
+
+
+def run_checks(
+    paths: Sequence[str | Path] | None = None,
+    *,
+    root: str | Path | None = None,
+) -> list[Finding]:
+    """Run all rule families over ``paths`` and return unsuppressed findings.
+
+    ``paths`` may mix files and directories; when omitted, the default
+    simulation-path packages (:data:`DEFAULT_PATHS`) are analyzed
+    relative to ``root`` (default: the current working directory).
+    Findings carry paths relative to ``root`` when possible.  Inline
+    ``# check: ignore[rule] reason`` comments on a finding's line
+    suppress it; malformed suppressions are themselves findings.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    if paths is None:
+        targets = _default_paths(root_path)
+    else:
+        targets = [Path(p) for p in paths]
+    files = collect_files(targets)
+    modules = [load_module(file, root=root_path) for file in files]
+    project = Project.build(modules)
+
+    findings: list[Finding] = []
+    findings.extend(check_state_coverage(project))
+    findings.extend(check_snapshot_symmetry(project))
+    findings.extend(check_digest_purity(project))
+    for module in modules:
+        findings.extend(check_determinism(module))
+
+    by_display = {module.display: module for module in modules}
+    kept: list[Finding] = []
+    for finding in findings:
+        module = by_display.get(finding.file)
+        if module is not None and module.suppressed(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    for module in modules:
+        kept.extend(module.malformed)
+    kept.sort(key=lambda f: (f.file, f.line, f.rule, f.message))
+    return kept
+
+
+def build_parser(prog: str = "repro check") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "statically check machine components for snapshot coverage, "
+            "symmetry, digest purity and determinism"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to analyze (default: the simulation-path "
+            "packages: " + ", ".join(DEFAULT_PATHS) + ")"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    return parser
+
+
+def run_and_report(paths: Sequence[str] | None, fmt: str = "text") -> int:
+    """Run the checks, print a report, and return the CLI exit code."""
+    try:
+        findings = run_checks(paths or None)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 64
+    report = render_json(findings) if fmt == "json" else render_text(findings)
+    print(report)
+    return exit_code_for(findings)
+
+
+def main(argv: Sequence[str] | None = None, prog: str = "repro check") -> int:
+    """CLI entry point; the exit code ORs one bit per rule family that fired."""
+    parser = build_parser(prog=prog)
+    options = parser.parse_args(argv)
+    return run_and_report(options.paths, options.format)

@@ -25,6 +25,11 @@ paper's evaluation in one command, batched through the experiment engine::
 corrupt, version-stale or no longer validate; ``python -m repro.cli list``
 prints the available exhibits and programs.
 
+``python -m repro.cli check [PATH ...]`` runs the static component-contract
+and determinism analyzer (:mod:`repro.checks`) over the simulation-path
+packages (or explicit paths) — see the README's STATIC ANALYSIS section.
+The exit code ORs one bit per rule family that fired.
+
 Every flag is an *explicit* setting in the sense of
 :meth:`repro.api.Settings.resolve`: a flag the user passes always wins, an
 omitted flag falls back to the matching ``REPRO_*`` environment variable,
@@ -112,6 +117,15 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
                     help="result store directory to collect")
     gc.add_argument("--store", choices=BACKEND_NAMES, default=None,
                     help="result-store backend (default: $REPRO_STORE or json)")
+
+    check = sub.add_parser(
+        "check",
+        help="statically check machine components (contract & determinism)")
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="files or directories to analyze (default: the "
+                            "simulation-path packages)")
+    check.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format (default: text)")
 
     sub.add_parser("list", help="list available exhibits and programs")
     return parser.parse_args(argv)
@@ -275,6 +289,14 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # imported lazily: the checker is pure stdlib-ast analysis and pulls in
+    # none of the simulation machinery
+    from repro.checks.runner import run_and_report
+
+    return run_and_report(args.paths, args.format)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _parse_args(argv)
     if args.command == "list":
@@ -283,6 +305,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_gc(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "check":
+        return _cmd_check(args)
     return _cmd_run_all(args)
 
 

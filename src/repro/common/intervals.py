@@ -155,7 +155,7 @@ def state_breakdown(
 
     counts: dict[tuple[bool, ...], int] = {}
     indices = [0] * len(merged_lists)
-    for left, right in zip(ordered, ordered[1:]):
+    for left, right in zip(ordered, ordered[1:], strict=False):
         state: list[bool] = []
         for res, merged in enumerate(merged_lists):
             idx = indices[res]

@@ -64,7 +64,7 @@ class GapResource(ComponentBase):
     def snapshot(self) -> dict:
         """JSON-compatible snapshot of the reservation and busy state."""
         return {
-            "busy": [[s, e] for s, e in zip(self._starts, self._ends)],
+            "busy": [[s, e] for s, e in zip(self._starts, self._ends, strict=True)],
             "tracker": self.tracker.to_pairs(),
         }
 

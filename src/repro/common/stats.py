@@ -252,7 +252,7 @@ def traffic_reduction(baseline: SimStats, optimised: SimStats) -> float:
 
 def format_state(state: tuple[bool, bool, bool]) -> str:
     """Render a (FU2, FU1, MEM) state tuple the way the paper prints it."""
-    names = [name if busy else "" for name, busy in zip(VECTOR_UNIT_ORDER, state)]
+    names = [name if busy else "" for name, busy in zip(VECTOR_UNIT_ORDER, state, strict=True)]
     return "<" + ",".join(names) + ">"
 
 

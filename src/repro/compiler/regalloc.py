@@ -430,7 +430,7 @@ def _rewrite_scalar_block(
         # is also the destination stays coherent (load, operate, store).
         translated_srcs = tuple(translate(src, is_dest=False) for src in instr.srcs)
         src_translation = {
-            orig: new for orig, new in zip(instr.srcs, translated_srcs)
+            orig: new for orig, new in zip(instr.srcs, translated_srcs, strict=True)
             if isinstance(orig, VirtReg) and orig.cls is cls
         }
         if (

@@ -125,7 +125,7 @@ def _trivial_plans(
     """
     from repro.parallel.scout import ChunkPlan
 
-    bounds = list(zip(cuts, cuts[1:] + [len(trace)]))
+    bounds = list(zip(cuts, cuts[1:] + [len(trace)], strict=True))
     for index, (start, stop) in enumerate(bounds):
         yield ChunkPlan(index, start, stop, None, "unhooked-machine-model")
 

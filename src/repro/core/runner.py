@@ -332,7 +332,7 @@ class ExperimentEngine:
                 missing.append(point)
             else:
                 results[point] = cached
-        for point, result in zip(missing, self._execute(missing)):
+        for point, result in zip(missing, self._execute(missing), strict=True):
             self.store.put(point, result)
             results[point] = result.copy()
         self.simulated += len(missing)

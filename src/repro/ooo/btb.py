@@ -35,6 +35,7 @@ class BranchPredictor(ComponentBase):
         #: shadow return stack: sequence numbers of the calls whose return
         #: addresses would be on the hardware stack
         self._ras: list[int] = []
+        # check: ignore[state-coverage] write-only bookkeeping; nothing ever reads it, snapshot excludes it by design (see snapshot docstring)
         self._dropped_calls: set[int] = set()
         self.predictions = 0
         self.mispredictions = 0

@@ -330,7 +330,7 @@ class _OOORun(StagedMachine):
             released.append((dyn.dest.cls, rename_result.previous))
             self._invalidate_tag(dyn.dest.cls, dest_phys)
 
-        for src, phys in zip(dyn.srcs, sources):
+        for src, phys in zip(dyn.srcs, sources, strict=True):
             if src.cls in (RegClass.V, RegClass.VM):
                 earliest = max(earliest, self._vector_source_ready(phys, for_store=False))
             else:

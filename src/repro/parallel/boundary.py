@@ -47,6 +47,8 @@ worker's exit state — each component absorbing its own share.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.machine.component import state_digest
 
 #: bump when the snapshot/boundary schema changes (invalidates chunk caches)
@@ -57,35 +59,35 @@ BOUNDARY_VERSION = 1
 # Registry dispatch (used by the chunked driver)
 # ---------------------------------------------------------------------------
 
-def quiescent(run) -> bool:
+def quiescent(run: Any) -> bool:
     """True when the run's pending timing state is dominated by its anchor."""
     from repro.core.machines import model_for_run
 
     return model_for_run(run).quiescent(run)
 
 
-def anchor_of(run) -> int:
+def anchor_of(run: Any) -> int:
     """The cut's fetch anchor — the Δ by which a canonical chunk shifts."""
     from repro.core.machines import model_for_run
 
     return model_for_run(run).anchor_of(run)
 
 
-def structural_of(run) -> dict | None:
+def structural_of(run: Any) -> dict | None:
     """Structural projection of a live run (``None``: no structural state)."""
     from repro.core.machines import model_for_run
 
     return model_for_run(run).structural_of(run)
 
 
-def apply_structural(run, structural: dict | None) -> None:
+def apply_structural(run: Any, structural: dict | None) -> None:
     """Seed a freshly constructed run with a predicted structural state."""
     from repro.core.machines import model_for_run
 
     model_for_run(run).apply_structural(run, structural)
 
 
-def apply_chunk(run, worker: dict, delta: int) -> None:
+def apply_chunk(run: Any, worker: dict, delta: int) -> None:
     """Registry dispatch, guarded by the snapshot's machine-kind tag."""
     from repro.core.machines import model_for_run
 
@@ -102,7 +104,7 @@ def apply_chunk(run, worker: dict, delta: int) -> None:
 # Structural projections and digests
 # ---------------------------------------------------------------------------
 
-def ooo_structural(rename, predictor, loadelim) -> dict:
+def ooo_structural(rename: Any, predictor: Any, loadelim: Any) -> dict:
     """The stream-determined part of an OOOVA-family state.
 
     Works on the live components of a run *or* of a scout — both hold the

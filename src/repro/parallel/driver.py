@@ -37,6 +37,7 @@ from __future__ import annotations
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
 from repro.common.errors import SimulationError
 from repro.common.params import OOOParams, ReferenceParams
@@ -63,7 +64,7 @@ AUTO_BACKOFF_AFTER = 2
 SPECULATE_MODES = ("auto", "always", "never")
 
 
-def _make_run(params, name: str = "", instructions=None):
+def _make_run(params: Any, name: str = "", instructions: Iterable | None = None) -> Any:
     """Build the registered machine-run object for ``params``.
 
     Dispatches through the machine-model registry
@@ -262,7 +263,7 @@ class ChunkedSimulation:
             return None
         return self._plans[index]
 
-    def _submit_wave(self, pool, upto: int) -> None:
+    def _submit_wave(self, pool: ProcessPoolExecutor, upto: int) -> None:
         """Keep a bounded window of chunk tasks in flight on the pool."""
         limit = min(upto, len(self._cuts))
         while self._pool_ok and self._submitted < limit:
@@ -290,7 +291,12 @@ class ChunkedSimulation:
                 return
             self.report.speculated += 1
 
-    def _stitch(self, parent, speculating, pool) -> None:
+    def _stitch(
+        self,
+        parent: Any,
+        speculating: bool,
+        pool: ProcessPoolExecutor | None,
+    ) -> None:
         """Walk chunks in order, merging accepted results, replaying the rest."""
         misses = 0
         nontrivial_accepts = 0  # chunk 0 accepts by construction; ignore it
@@ -344,14 +350,23 @@ class ChunkedSimulation:
                     pending.cancel()
                 self._futures.clear()
 
-    def _obtain(self, plan: ChunkPlan, futures, pool) -> dict | None:
+    def _obtain(
+        self,
+        plan: ChunkPlan,
+        futures: dict[int, Future],
+        pool: ProcessPoolExecutor | None,
+    ) -> dict | None:
         """Produce the worker exit state for an acceptable chunk, if possible."""
         prefetched = self._prefetched.pop(plan.index, None)
         if prefetched is not None:
             self.report.cache_hits += 1
             return prefetched
         key = self._chunk_key(plan)
-        if key is not None and plan.index >= self._submitted:
+        if (
+            key is not None
+            and self.chunk_store is not None
+            and plan.index >= self._submitted
+        ):
             # not reached by the submit path (jobs=1, or the pool died):
             # consult the store directly
             cached = self.chunk_store.get(key)
@@ -373,7 +388,7 @@ class ChunkedSimulation:
             # i.e. only for cuts already proven safe
             state = _simulate_chunk(self._task(plan))
             self.report.speculated += 1
-        if state is not None and key is not None:
+        if state is not None and key is not None and self.chunk_store is not None:
             self.chunk_store.put(
                 key, state,
                 info={
@@ -389,7 +404,7 @@ class ChunkedSimulation:
 
 def simulate_trace_chunked(
     trace: Trace,
-    config,
+    config: Any,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     jobs: int = 1,
     speculate: str = "auto",
@@ -397,7 +412,7 @@ def simulate_trace_chunked(
     point_fingerprint: str | None = None,
     pool: ProcessPoolExecutor | None = None,
     trace_source: tuple[str, str, str] | None = None,
-):
+) -> tuple[Any, ChunkedReport]:
     """Chunked counterpart of :func:`repro.core.simulator.simulate_trace`.
 
     Returns ``(SimulationResult, ChunkedReport)``; the result is

@@ -30,13 +30,14 @@ to have drained into a summarisable boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Iterator
 
 from repro.common.params import LoadElimination, OOOParams, ReferenceParams
 from repro.isa.opcodes import InstrKind
 from repro.isa.registers import RegClass
 from repro.ooo.btb import BranchPredictor
-from repro.ooo.loadelim import LoadEliminationUnit
-from repro.ooo.rename import RenameUnit
+from repro.ooo.loadelim import LoadEliminationUnit, TagTable
+from repro.ooo.rename import PhysReg, RenameUnit
 from repro.parallel.boundary import ooo_structural, structural_digest
 from repro.trace.records import DynInstr, Trace
 
@@ -84,7 +85,7 @@ class StructuralScout:
     def structural(self) -> dict:
         return ooo_structural(self.rename, self.predictor, self.loadelim)
 
-    def _tag_table_for(self, cls: RegClass):
+    def _tag_table_for(self, cls: RegClass) -> TagTable | None:
         if self.loadelim is None:
             return None
         if cls is RegClass.V:
@@ -95,7 +96,7 @@ class StructuralScout:
             return self.loadelim.s_tags
         return None
 
-    def _invalidate_tag(self, cls: RegClass, phys) -> None:
+    def _invalidate_tag(self, cls: RegClass, phys: PhysReg) -> None:
         table = self._tag_table_for(cls)
         if table is not None:
             table.invalidate(phys.ident)
@@ -110,7 +111,7 @@ class StructuralScout:
         them at commit (``retire``).
         """
         kind = dyn.kind
-        released: list[tuple[RegClass, object]] = []
+        released: list[tuple[RegClass, PhysReg | None]] = []
         if kind is InstrKind.BRANCH:
             for src in dyn.srcs:
                 self.rename.source(src)
@@ -135,15 +136,18 @@ class StructuralScout:
         for cls, phys in released:
             self.rename.release(cls, phys, 0)
 
-    def _step_load(self, dyn: DynInstr) -> list[tuple[RegClass, object]]:
+    def _step_load(self, dyn: DynInstr) -> list[tuple[RegClass, PhysReg | None]]:
+        assert dyn.dest is not None  # loads always write a destination
         dest_cls = dyn.dest.cls
         table = self._tag_table_for(dest_cls)
         matched = None
-        if table is not None and (
-            (dyn.is_vector and self.vle) or (not dyn.is_vector and self.sle)
-        ):
-            matched = self.loadelim.try_eliminate(dyn, table)
+        if table is not None:
+            # a live tag table implies the elimination unit exists
+            assert self.loadelim is not None
+            if (dyn.is_vector and self.vle) or (not dyn.is_vector and self.sle):
+                matched = self.loadelim.try_eliminate(dyn, table)
         if matched is not None and dyn.is_vector:
+            assert self.loadelim is not None
             file = self.rename.file(RegClass.V)
             previous = file.remap(dyn.dest, file.registers[matched])
             self.loadelim.vector_loads_eliminated += 1
@@ -151,9 +155,11 @@ class StructuralScout:
         result = self.rename.rename_destination(dyn.dest, 0)
         if matched is not None:
             # scalar load elimination: register-to-register copy, tag copied
+            assert self.loadelim is not None and table is not None
             self.loadelim.scalar_loads_eliminated += 1
             table.set_tag(result.phys.ident, table.get(matched))
         elif table is not None:
+            assert self.loadelim is not None
             self.loadelim.load_executed(dyn, result.phys.ident, table)
         return [(dest_cls, result.previous)]
 
@@ -181,7 +187,9 @@ def _memory_footprint(trace: Trace) -> tuple[list[int], list[tuple]]:
     return indices, regions
 
 
-def _dependence_clean(indices, regions, cut: int) -> bool:
+def _dependence_clean(
+    indices: list[int], regions: list[tuple], cut: int
+) -> bool:
     """True when no memory-region dependence straddles ``cut`` nearby."""
     from bisect import bisect_left
 
@@ -213,19 +221,23 @@ def plan_cut_points(trace: Trace, chunk_size: int) -> list[int]:
     return cuts
 
 
-def iter_reference_plans(trace: Trace, params, cuts: list[int]):
+def iter_reference_plans(
+    trace: Trace, params: Any, cuts: list[int]
+) -> Iterator[ChunkPlan]:
     """Chunk plans for the reference machine (registry ``plan_chunks`` hook).
 
     The reference machine's boundary is purely timing; its canonical
     quiescent form is the same (empty) structural state at every cut.
     """
-    bounds = list(zip(cuts, cuts[1:] + [len(trace)]))
+    bounds = list(zip(cuts, cuts[1:] + [len(trace)], strict=True))
     digest = structural_digest(None)
     for index, (start, stop) in enumerate(bounds):
         yield ChunkPlan(index, start, stop, None, digest)
 
 
-def iter_ooo_plans(trace: Trace, params: OOOParams, cuts: list[int]):
+def iter_ooo_plans(
+    trace: Trace, params: OOOParams, cuts: list[int]
+) -> Iterator[ChunkPlan]:
     """Scout-predicted chunk plans for the OOOVA (registry hook).
 
     The scout only advances as far as plans are actually consumed — when
@@ -233,7 +245,7 @@ def iter_ooo_plans(trace: Trace, params: OOOParams, cuts: list[int]):
     chunks, the (trace-length-proportional) structural pre-pass cost is
     bounded by those few chunks instead of the whole trace.
     """
-    bounds = list(zip(cuts, cuts[1:] + [len(trace)]))
+    bounds = list(zip(cuts, cuts[1:] + [len(trace)], strict=True))
     scout = StructuralScout(params)
     position = 0
     for index, (start, stop) in enumerate(bounds):
@@ -245,7 +257,9 @@ def iter_ooo_plans(trace: Trace, params: OOOParams, cuts: list[int]):
                         structural_digest(structural))
 
 
-def iter_chunk_plans(trace: Trace, params, cuts: list[int]):
+def iter_chunk_plans(
+    trace: Trace, params: Any, cuts: list[int]
+) -> Iterator[ChunkPlan]:
     """Yield :class:`ChunkPlan` objects lazily, one per chunk.
 
     Dispatches through the machine-model registry

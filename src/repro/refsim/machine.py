@@ -180,6 +180,7 @@ class _ReferenceRun(StagedMachine):
         self.units = self.register_component("units", _UnitSet())
         self.fu1 = self.units.fu1
         self.fu2 = self.units.fu2
+        # check: ignore[state-coverage] alias into the registered 'units' component; all mutations land on the shared object it snapshots
         self.mem_unit = self.units.mem_unit
         self.memory = self.register_component(
             "memory", MemorySystem(params.memory, params.latencies))

@@ -51,11 +51,11 @@ class BankedVectorRegisterFile(ComponentBase):
         }
 
     def restore(self, state: dict) -> None:
-        for bank, bank_state in zip(self._read_ports, state["read"]):
-            for port, port_state in zip(bank, bank_state):
+        for bank, bank_state in zip(self._read_ports, state["read"], strict=True):
+            for port, port_state in zip(bank, bank_state, strict=True):
                 port.restore(port_state)
-        for bank, bank_state in zip(self._write_ports, state["write"]):
-            for port, port_state in zip(bank, bank_state):
+        for bank, bank_state in zip(self._write_ports, state["write"], strict=True):
+            for port, port_state in zip(bank, bank_state, strict=True):
                 port.restore(port_state)
         self.read_conflict_delay = int(state["read_conflict_delay"])
         self.write_conflict_delay = int(state["write_conflict_delay"])
@@ -81,8 +81,8 @@ class BankedVectorRegisterFile(ComponentBase):
     def absorb(self, state: dict, delta: int) -> None:
         """Extend every port with the worker's (shifted) slots; delays add."""
         for banks, key in ((self._read_ports, "read"), (self._write_ports, "write")):
-            for bank, bank_state in zip(banks, state[key]):
-                for port, port_state in zip(bank, bank_state):
+            for bank, bank_state in zip(banks, state[key], strict=True):
+                for port, port_state in zip(bank, bank_state, strict=True):
                     port.absorb(port_state, delta)
         self.read_conflict_delay += int(state["read_conflict_delay"])
         self.write_conflict_delay += int(state["write_conflict_delay"])

@@ -7,6 +7,8 @@ engine's historical tolerance (fallback/clamping) for sloppy environment
 values.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.api import (
@@ -131,5 +133,5 @@ class TestOverride:
             Settings.resolve(env={}).override(velocity=11)
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             Settings.resolve(env={}).jobs = 9  # type: ignore[misc]

@@ -17,6 +17,7 @@ PUBLIC_SURFACE = (
     "CHUNK_SIZE_ENV",
     "ExhibitResult",
     "ExhibitSet",
+    "Finding",
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
     "Machine",
@@ -35,6 +36,7 @@ PUBLIC_SURFACE = (
     "model_for_params",
     "register_machine",
     "resolve_scale",
+    "run_checks",
 )
 
 

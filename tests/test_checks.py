@@ -1,0 +1,403 @@
+"""The static analyzer (`repro check`, :mod:`repro.checks`).
+
+Each rule family is exercised against a deliberately broken toy
+component, pinned to rule id and line; the whole-repository-clean
+assertion at the end is the tier-1 gate the CI ``check`` job mirrors.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.checks import DEFAULT_PATHS, Finding, exit_code_for, run_checks
+from repro.checks.runner import main as checks_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_fixture(tmp_path, source: str) -> Path:
+    path = tmp_path / "fixture.py"
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def findings_for(tmp_path, source: str) -> list[Finding]:
+    return run_checks([write_fixture(tmp_path, source)])
+
+
+# ---------------------------------------------------------------------------
+# rule families, each demonstrated on a seeded-broken component
+# ---------------------------------------------------------------------------
+
+
+MISSING_STATE = """\
+    class Counter:
+        def __init__(self):
+            self.ticks = 0
+            self.drops = 0
+
+        def bump(self):
+            self.ticks += 1
+            self.drops += 1
+
+        def snapshot(self):
+            return {"ticks": self.ticks}
+
+        def restore(self, state):
+            self.ticks = state["ticks"]
+
+        def reset(self):
+            self.ticks = 0
+    """
+
+
+class TestStateCoverage:
+    def test_missing_snapshot_key_is_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, MISSING_STATE)
+        assert [f.rule for f in findings] == ["state-coverage"]
+        finding = findings[0]
+        # reported on the __init__ assignment of the drifting attribute
+        assert finding.line == 4
+        assert "self.drops" in finding.message
+        assert "snapshot" in finding.message
+        assert finding.hint
+
+    def test_covered_attribute_is_clean(self, tmp_path):
+        covered = """\
+            class Counter:
+                def __init__(self):
+                    self.ticks = 0
+                    self.drops = 0
+
+                def bump(self):
+                    self.ticks += 1
+                    self.drops += 1
+
+                def snapshot(self):
+                    return {"ticks": self.ticks, "drops": self.drops}
+
+                def restore(self, state):
+                    self.ticks = state["ticks"]
+                    self.drops = state["drops"]
+
+                def reset(self):
+                    self.ticks = 0
+                    self.drops = 0
+            """
+        assert findings_for(tmp_path, covered) == []
+
+    def test_helper_closure_counts_as_coverage(self, tmp_path):
+        # snapshot/restore/reset delegating through a self-method still
+        # covers the attributes the helper touches (all_tables() pattern)
+        delegating = """\
+            class Tables:
+                def __init__(self):
+                    self.left = []
+                    self.right = []
+
+                def grow(self):
+                    self.left.append(1)
+                    self.right.append(2)
+
+                def all_tables(self):
+                    return (self.left, self.right)
+
+                def snapshot(self):
+                    return {"tables": [list(t) for t in self.all_tables()]}
+
+                def restore(self, state):
+                    for table, stored in zip(self.all_tables(), state["tables"]):
+                        table[:] = stored
+
+                def reset(self):
+                    for table in self.all_tables():
+                        table[:] = []
+            """
+        assert findings_for(tmp_path, delegating) == []
+
+    def test_exit_code_bit(self, tmp_path):
+        fixture = write_fixture(tmp_path, MISSING_STATE)
+        assert checks_main([str(fixture)]) == 1
+
+    def test_suppression_with_reason_silences(self, tmp_path):
+        suppressed = MISSING_STATE.replace(
+            "self.drops = 0",
+            "self.drops = 0  # check: ignore[state-coverage] scratch tally, never read",
+            1,
+        )
+        assert findings_for(tmp_path, suppressed) == []
+
+    def test_standalone_suppression_covers_next_line(self, tmp_path):
+        suppressed = MISSING_STATE.replace(
+            "        self.drops = 0",
+            "        # check: ignore[state-coverage] scratch tally, never read\n"
+            "            self.drops = 0",
+            1,
+        )
+        assert findings_for(tmp_path, suppressed) == []
+
+    def test_suppression_without_reason_is_malformed(self, tmp_path):
+        bad = MISSING_STATE.replace(
+            "self.drops = 0",
+            "self.drops = 0  # check: ignore[state-coverage]",
+            1,
+        )
+        findings = findings_for(tmp_path, bad)
+        rules = sorted(f.rule for f in findings)
+        # the bare suppression does not suppress, and is itself a finding
+        assert rules == ["malformed-suppression", "state-coverage"]
+
+    def test_suppression_with_unknown_rule_is_malformed(self, tmp_path):
+        bad = MISSING_STATE.replace(
+            "self.drops = 0",
+            "self.drops = 0  # check: ignore[no-such-rule] because",
+            1,
+        )
+        findings = findings_for(tmp_path, bad)
+        assert "malformed-suppression" in {f.rule for f in findings}
+
+
+ASYMMETRIC = """\
+    class Pipe:
+        def __init__(self):
+            self.depth = 0
+            self.width = 0
+
+        def stretch(self):
+            self.depth += 1
+            self.width += 1
+
+        def snapshot(self):
+            return {"depth": self.depth, "width": self.width}
+
+        def restore(self, state):
+            self.depth = state["depth"]
+            self.width = state["breadth"]
+
+        def reset(self):
+            self.depth = 0
+            self.width = 0
+    """
+
+
+class TestSnapshotSymmetry:
+    def test_key_mismatch_is_flagged_both_ways(self, tmp_path):
+        findings = findings_for(tmp_path, ASYMMETRIC)
+        symmetry = [f for f in findings if f.rule == "snapshot-symmetry"]
+        messages = sorted(f.message for f in symmetry)
+        assert len(symmetry) == 2
+        assert "snapshot writes key 'width'" in messages[1]
+        assert "restore reads key 'breadth'" in messages[0]
+        # anchored on the snapshot / restore definitions
+        assert {f.line for f in symmetry} == {10, 13}
+
+    def test_exit_code_bit(self, tmp_path):
+        fixture = write_fixture(tmp_path, ASYMMETRIC)
+        assert checks_main([str(fixture)]) == 2
+
+    def test_dynamic_snapshot_is_skipped(self, tmp_path):
+        dynamic = """\
+            class Bag:
+                def __init__(self):
+                    self.items = {}
+
+                def put(self, key, value):
+                    self.items[key] = value
+
+                def snapshot(self):
+                    return {key: value for key, value in sorted(self.items.items())}
+
+                def restore(self, state):
+                    self.items = dict(state)
+
+                def reset(self):
+                    self.items = {}
+            """
+        assert findings_for(tmp_path, dynamic) == []
+
+
+MUTATING_DIGEST = """\
+    class Table:
+        def __init__(self):
+            self.entries = []
+            self.digests = 0
+
+        def push(self, item):
+            self.entries.append(item)
+
+        def snapshot(self):
+            return {"entries": list(self.entries), "digests": self.digests}
+
+        def restore(self, state):
+            self.entries = list(state["entries"])
+            self.digests = int(state["digests"])
+
+        def reset(self):
+            self.entries = []
+            self.digests = 0
+
+        def digest(self):
+            self.digests += 1
+            return str(self.snapshot())
+    """
+
+
+class TestDigestPurity:
+    def test_mutating_digest_is_flagged(self, tmp_path):
+        findings = findings_for(tmp_path, MUTATING_DIGEST)
+        assert [f.rule for f in findings] == ["digest-purity"]
+        finding = findings[0]
+        assert finding.line == 21
+        assert "Table.digest" in finding.message
+        assert "self.digests" in finding.message
+
+    def test_digest_calling_restore_is_flagged(self, tmp_path):
+        source = """\
+            class Clock:
+                def __init__(self):
+                    self.now = 0
+
+                def tick(self):
+                    self.now += 1
+
+                def snapshot(self):
+                    return {"now": self.now}
+
+                def restore(self, state):
+                    self.now = state["now"]
+
+                def reset(self):
+                    self.now = 0
+
+                def digest(self):
+                    self.restore(self.snapshot())
+                    return str(self.now)
+            """
+        findings = findings_for(tmp_path, source)
+        assert [f.rule for f in findings] == ["digest-purity"]
+        assert "self.restore()" in findings[0].message
+
+    def test_exit_code_bit(self, tmp_path):
+        fixture = write_fixture(tmp_path, MUTATING_DIGEST)
+        assert checks_main([str(fixture)]) == 4
+
+
+SET_ITERATION = """\
+    class Scheduler:
+        def __init__(self):
+            self.waiting: set[int] = set()
+
+        def admit(self, item):
+            self.waiting.add(item)
+
+        def step(self):
+            total = 0
+            for item in self.waiting:
+                total += item
+            return total
+
+        def snapshot(self):
+            return {"waiting": sorted(self.waiting)}
+
+        def restore(self, state):
+            self.waiting = set(state["waiting"])
+
+        def reset(self):
+            self.waiting = set()
+    """
+
+
+class TestDeterminism:
+    def test_set_iteration_in_step_method(self, tmp_path):
+        findings = findings_for(tmp_path, SET_ITERATION)
+        assert [f.rule for f in findings] == ["determinism"]
+        finding = findings[0]
+        assert finding.line == 10
+        assert "self.waiting" in finding.message
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        fixed = SET_ITERATION.replace(
+            "for item in self.waiting:", "for item in sorted(self.waiting):"
+        )
+        assert findings_for(tmp_path, fixed) == []
+
+    def test_exit_code_bit(self, tmp_path):
+        fixture = write_fixture(tmp_path, SET_ITERATION)
+        assert checks_main([str(fixture)]) == 8
+
+    def test_ambient_state_lints(self, tmp_path):
+        source = """\
+            import os
+            import random
+
+            def seed():
+                key = os.environ.get("SEED", "0")
+                return id(key) + hash(key) + random.random()
+
+            def drain(table):
+                return table.popitem()
+
+            def total(values: set):
+                return sum({1.0, 2.0})
+            """
+        findings = findings_for(tmp_path, source)
+        assert all(f.rule == "determinism" for f in findings)
+        text = "\n".join(f.message for f in findings)
+        for marker in ("random", "os.environ", "popitem", "id()", "hash()", "sum()"):
+            assert marker in text, f"expected a finding mentioning {marker}"
+
+
+# ---------------------------------------------------------------------------
+# CLI, report formats, exit-code model
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_repro_check_verb(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        fixture = write_fixture(tmp_path, MISSING_STATE)
+        code = cli_main(["check", str(fixture), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["exit_code"] == 1
+        assert [f["rule"] for f in payload["findings"]] == ["state-coverage"]
+        assert payload["findings"][0]["line"] == 4
+
+    def test_module_entry_point_clean_run(self, tmp_path, capsys):
+        clean = write_fixture(tmp_path, "x = 1\n")
+        assert checks_main([str(clean)]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        assert checks_main([str(tmp_path / "nope.py")]) == 64
+
+    def test_exit_code_accumulates_bits(self):
+        findings = [
+            Finding(file="f", line=1, rule="state-coverage", message="m"),
+            Finding(file="f", line=2, rule="digest-purity", message="m"),
+        ]
+        assert exit_code_for(findings) == 5
+
+
+# ---------------------------------------------------------------------------
+# the repository itself is clean
+# ---------------------------------------------------------------------------
+
+
+class TestRepositoryIsClean:
+    def test_default_paths_exist(self):
+        for path in DEFAULT_PATHS:
+            assert (REPO_ROOT / path).is_dir(), path
+
+    def test_simulation_packages_are_clean(self):
+        findings = run_checks(root=REPO_ROOT)
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"repo has check findings:\n{rendered}"
+
+    def test_examples_are_clean(self):
+        examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+        assert examples, "examples directory is empty"
+        findings = run_checks(examples, root=REPO_ROOT)
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"examples have check findings:\n{rendered}"

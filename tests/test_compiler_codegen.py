@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import CompilationError
 from repro.compiler import ir
 from repro.compiler.codegen import (
     DATA_SEGMENT_BASE,
@@ -44,7 +45,7 @@ class TestMemoryLayout:
 
     def test_unknown_array_rejected(self):
         layout = layout_memory([])
-        with pytest.raises(Exception):
+        with pytest.raises(CompilationError):
             layout.base_of(ir.Array("ghost", 8))
 
     def test_spill_slots_are_disjoint(self):

@@ -56,7 +56,7 @@ class TestMerge:
         intervals = [Interval(start, start + length) for start, length in raw]
         merged = merge_intervals(intervals)
         # merged intervals are sorted, disjoint and non-empty
-        for earlier, later in zip(merged, merged[1:]):
+        for earlier, later in zip(merged, merged[1:], strict=False):
             assert earlier.end < later.start
         assert all(iv.length > 0 for iv in merged)
         # coverage is preserved

@@ -177,7 +177,7 @@ class TestInOrderIntermediate:
         run.run_slice(TRACE.instructions[:300])
         assert starts == sorted(starts)
         # single issue per cycle: strictly increasing
-        assert all(b > a for a, b in zip(starts, starts[1:]))
+        assert all(b > a for a, b in zip(starts, starts[1:], strict=False))
 
 
 class TestMinimalRegisteredMachine:

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import RegClass, areg, sreg, vreg
 from repro.ooo.btb import BranchPredictor
@@ -98,7 +98,7 @@ class TestReorderBuffer:
         assert rob.allocation_stall_cycles == granted - 0
 
     def test_invalid_sizes(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             ReorderBuffer(0, 4)
 
 

@@ -58,7 +58,7 @@ class TestGapResource:
             assert start >= earliest
             granted.append((start, start + duration))
         granted.sort()
-        for (s1, e1), (s2, e2) in zip(granted, granted[1:]):
+        for (_s1, e1), (s2, _e2) in zip(granted, granted[1:], strict=False):
             assert e1 <= s2
         assert res.busy_cycles() == sum(e - s for s, e in granted)
 
@@ -76,10 +76,11 @@ class TestGapResource:
             res.reserve(earliest, duration)
             starts, ends = res._starts, res._ends
             assert len(starts) == len(ends)
-            for s, e in zip(starts, ends):
+            for s, e in zip(starts, ends, strict=True):
                 assert s < e  # merging never leaves empty intervals behind
-            for (s1, e1), (s2, e2) in zip(zip(starts, ends),
-                                          zip(starts[1:], ends[1:])):
+            for (_s1, e1), (s2, _e2) in zip(zip(starts, ends, strict=True),
+                                          zip(starts[1:], ends[1:], strict=True),
+                                          strict=False):
                 # strictly separated: adjacent intervals must have merged
                 assert e1 < s2
 
@@ -105,7 +106,7 @@ class TestGapResource:
             res.reserve(earliest, duration)
         probe = res.next_free(probe_earliest, probe_duration)
         assert probe >= probe_earliest
-        busy = {c for s, e in zip(res._starts, res._ends) for c in range(s, e)}
+        busy = {c for s, e in zip(res._starts, res._ends, strict=True) for c in range(s, e)}
         assert not busy.intersection(range(probe, probe + probe_duration))
 
 
@@ -155,5 +156,5 @@ class TestInOrderPipe:
     def test_exits_strictly_increase(self, enters):
         pipe = InOrderPipe(depth=3)
         exits = [pipe.advance(t) for t in sorted(enters)]
-        for earlier, later in zip(exits, exits[1:]):
+        for earlier, later in zip(exits, exits[1:], strict=False):
             assert later > earlier

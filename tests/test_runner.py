@@ -7,6 +7,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.common.params import (
     CommitModel,
     LoadElimination,
@@ -57,7 +58,7 @@ class TestSerialization:
         assert params_from_dict(params_to_dict(params)) == params
 
     def test_params_from_dict_rejects_unknown_kind(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             params_from_dict({"kind": "quantum"})
 
     def test_result_round_trip_preserves_statistics(self):
