@@ -65,6 +65,8 @@ from repro.api.settings import (
     CHUNK_SIZE_ENV,
     INTRA_JOBS_ENV,
     JOBS_ENV,
+    KERNEL_ENV,
+    KERNEL_NAMES,
     Settings,
 )
 from repro.checks import Finding, run_checks
@@ -77,6 +79,8 @@ __all__ = [
     "Finding",
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
+    "KERNEL_ENV",
+    "KERNEL_NAMES",
     "Machine",
     "MachineConfig",
     "MachineModel",

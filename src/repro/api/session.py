@@ -68,6 +68,7 @@ def engine_summary_dict(engine: ExperimentEngine) -> dict[str, Any]:
         "disk_hits": engine.disk_hits,
         "memory_hits": engine.memory_hits,
         "jobs": engine.jobs,
+        "kernel": engine.kernel,
         "store": engine.store.describe(),
     }
     if engine.chunk_size:
@@ -109,6 +110,7 @@ class Session:
             jobs=settings.jobs,
             intra_jobs=settings.intra_jobs,
             chunk_size=settings.chunk_size,
+            kernel=settings.kernel,
         )
         self._closed = False
 
@@ -208,9 +210,11 @@ class Session:
                 program, resolved_scale, config,
                 chunk_size=size, intra_jobs=jobs,
                 trace_store=self.trace_store,
+                kernel=self.settings.kernel,
             )
         result = simulate_point(
-            program, resolved_scale, config, trace_store=self.trace_store
+            program, resolved_scale, config, trace_store=self.trace_store,
+            kernel=self.settings.kernel,
         )
         return result, None
 
@@ -227,7 +231,7 @@ class Session:
 
         if isinstance(config, str):
             config = get_config(config)
-        return simulate_trace(trace, config)
+        return simulate_trace(trace, config, kernel=self.settings.kernel)
 
     def scope(self) -> ContextManager[ExperimentEngine]:
         """Context manager making this session the process-wide default.
@@ -383,4 +387,5 @@ class Session:
                 if request.chunk_size is not None
                 else self.settings.chunk_size
             ),
+            kernel=self.settings.kernel,
         )

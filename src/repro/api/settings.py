@@ -18,6 +18,8 @@ from repro.core.settings import (
     CHUNK_SIZE_ENV,
     INTRA_JOBS_ENV,
     JOBS_ENV,
+    KERNEL_ENV,
+    KERNEL_NAMES,
     Settings,
 )
 from repro.core.store import STORE_ENV
@@ -27,6 +29,8 @@ __all__ = [
     "CHUNK_SIZE_ENV",
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
+    "KERNEL_ENV",
+    "KERNEL_NAMES",
     "STORE_ENV",
     "Settings",
 ]

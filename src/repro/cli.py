@@ -47,6 +47,7 @@ from typing import Any, Sequence
 
 from repro.analysis.exhibits import EXHIBIT_NAMES
 from repro.api import (
+    KERNEL_NAMES,
     SCALE_ALIASES,
     ExhibitSet,
     Session,
@@ -81,6 +82,9 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     run_all.add_argument("--chunk-size", type=int, default=None, metavar="I",
                          help="instructions per simulation chunk (0: default "
                               "size when --intra-jobs > 1, else monolithic)")
+    run_all.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                         help="machine stepper kernel (default: $REPRO_KERNEL "
+                              "or scalar; results are bit-identical)")
     run_all.add_argument("--cache-dir", default=None, metavar="D",
                          help="persistent on-disk result store directory")
     run_all.add_argument("--store", choices=BACKEND_NAMES, default=None,
@@ -109,6 +113,9 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     simulate.add_argument("--chunk-size", type=int, default=None, metavar="I",
                           help="instructions per chunk (0: monolithic unless "
                                "--intra-jobs > 1)")
+    simulate.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                          help="machine stepper kernel (default: $REPRO_KERNEL "
+                               "or scalar; results are bit-identical)")
     simulate.add_argument("--format", choices=("text", "json"), default="text",
                           help="output format (default: text)")
 
@@ -145,7 +152,7 @@ def _session_settings(args: argparse.Namespace) -> Settings:
     overrides: dict[str, Any] = {}
     for flag, field in (("cache_dir", "cache_dir"), ("store", "store"),
                         ("jobs", "jobs"), ("intra_jobs", "intra_jobs"),
-                        ("chunk_size", "chunk_size")):
+                        ("chunk_size", "chunk_size"), ("kernel", "kernel")):
         value = getattr(args, flag, None)
         if value is not None:
             overrides[field] = value

@@ -132,7 +132,11 @@ class ExperimentSpec:
         return len(self.points)
 
 
-def _simulate_point(point: ExperimentPoint, trace_dir: str | None = None) -> dict:
+def _simulate_point(
+    point: ExperimentPoint,
+    trace_dir: str | None = None,
+    kernel: str = "scalar",
+) -> dict:
     """Execute one point and return the serialised result.
 
     Top-level function so :class:`ProcessPoolExecutor` can pickle it; the
@@ -145,7 +149,8 @@ def _simulate_point(point: ExperimentPoint, trace_dir: str | None = None) -> dic
 
     trace_store = TraceStore(trace_dir) if trace_dir is not None else None
     return simulate_point(
-        point.workload, point.scale, point.config, trace_store=trace_store
+        point.workload, point.scale, point.config, trace_store=trace_store,
+        kernel=kernel,
     ).to_dict()
 
 
@@ -271,6 +276,7 @@ class ExperimentEngine:
         trace_store: TraceStore | None = None,
         intra_jobs: int = 1,
         chunk_size: int = 0,
+        kernel: str = "scalar",
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -278,12 +284,19 @@ class ExperimentEngine:
             raise ValueError("intra_jobs must be at least 1")
         if chunk_size < 0:
             raise ValueError("chunk_size must be non-negative")
+        if kernel not in ("scalar", "batched"):
+            raise ValueError(
+                f"unknown machine kernel {kernel!r}; available: scalar, batched"
+            )
         self.store = store if store is not None else ResultStore()
         self.jobs = jobs
         #: chunk-level worker processes *within* one simulation point; when
         #: > 1 (or when a chunk size is forced) points run sequentially and
         #: the parallelism moves inside each point (see repro.parallel)
         self.intra_jobs = intra_jobs
+        #: machine stepper kernel used for every simulation this engine runs
+        #: ("scalar" or "batched"; results are bit-identical either way)
+        self.kernel = kernel
         from repro.parallel import DEFAULT_CHUNK_SIZE
 
         self.chunk_size = chunk_size or (
@@ -380,7 +393,8 @@ class ExperimentEngine:
             str(self.trace_store.cache_dir) if self.trace_store is not None else None
         )
         return [
-            SimulationResult.from_dict(_simulate_point(p, trace_dir)) for p in points
+            SimulationResult.from_dict(_simulate_point(p, trace_dir, self.kernel))
+            for p in points
         ]
 
     def _execute_chunked(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
@@ -412,7 +426,7 @@ class ExperimentEngine:
                     chunk_size=self.chunk_size, intra_jobs=self.intra_jobs,
                     trace_store=self.trace_store,
                     chunk_store=self.chunk_store, pool=pool,
-                    speculate=speculate,
+                    speculate=speculate, kernel=self.kernel,
                 )
                 self.chunks_accepted += report.accepted
                 self.chunks_replayed += report.replayed
@@ -435,6 +449,7 @@ class ExperimentEngine:
                     _simulate_point,
                     points,
                     itertools.repeat(trace_dir),
+                    itertools.repeat(self.kernel),
                     chunksize=chunksize,
                 )
             )
@@ -457,6 +472,8 @@ class ExperimentEngine:
             f"{self.memory_hits} memory hits, jobs={self.jobs}, "
             f"store={self.store.describe()}"
         )
+        if self.kernel != "scalar":
+            line += f", kernel={self.kernel}"
         if self.chunk_size:
             line += (
                 f", chunked x{self.chunk_size} intra-jobs={self.intra_jobs} "
@@ -506,6 +523,7 @@ def get_engine() -> ExperimentEngine:
             jobs=settings.jobs,
             intra_jobs=settings.intra_jobs,
             chunk_size=settings.chunk_size,
+            kernel=settings.kernel,
         )
     return _default_engine
 

@@ -31,6 +31,10 @@ Environment variables (all optional):
                               unparsable values fall back to the default)
 ``REPRO_INTRA_JOBS``          chunk workers within one point (ditto)
 ``REPRO_CHUNK_SIZE``          instructions per chunk (clamped to ≥ 0)
+``REPRO_KERNEL``              machine stepper kernel: ``scalar`` (the
+                              per-instruction dispatch loop) or ``batched``
+                              (the SoA pre-lowered stepper; invalid values
+                              are an error)
 ============================  =============================================
 """
 
@@ -51,6 +55,11 @@ JOBS_ENV = "REPRO_JOBS"
 INTRA_JOBS_ENV = "REPRO_INTRA_JOBS"
 #: environment variable for the chunked-simulation partition size
 CHUNK_SIZE_ENV = "REPRO_CHUNK_SIZE"
+#: environment variable selecting the machine stepper kernel
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: the available machine stepper kernels (see :mod:`repro.machine.batched`)
+KERNEL_NAMES = ("scalar", "batched")
 
 #: sentinel distinguishing "not passed" from every real value (incl. falsy)
 _UNSET: Any = object()
@@ -85,6 +94,8 @@ class Settings:
     intra_jobs: int = 1
     #: instructions per simulation chunk (0: monolithic unless intra_jobs > 1)
     chunk_size: int = 0
+    #: machine stepper kernel (``scalar`` or ``batched``)
+    kernel: str = "scalar"
     #: names of the fields that were passed explicitly to :meth:`resolve`
     explicit: frozenset[str] = field(default=frozenset(), compare=False)
 
@@ -97,6 +108,7 @@ class Settings:
         jobs: Any = _UNSET,
         intra_jobs: Any = _UNSET,
         chunk_size: Any = _UNSET,
+        kernel: Any = _UNSET,
         env: Mapping[str, str] | None = None,
     ) -> "Settings":
         """Resolve settings as **explicit kwargs > environment > defaults**.
@@ -158,12 +170,26 @@ class Settings:
         else:
             resolved_chunk = _explicit_int("chunk_size", chunk_size, minimum=0)
 
+        if kernel is _UNSET:
+            resolved_kernel = environ.get(KERNEL_ENV) or "scalar"
+            source = f" (from ${KERNEL_ENV})"
+        else:
+            explicit.add("kernel")
+            resolved_kernel = kernel
+            source = ""
+        if resolved_kernel not in KERNEL_NAMES:
+            raise ReproError(
+                f"unknown machine kernel {resolved_kernel!r}{source}; "
+                f"available: {', '.join(KERNEL_NAMES)}"
+            )
+
         return cls(
             cache_dir=resolved_cache,
             store=resolved_store,
             jobs=resolved_jobs,
             intra_jobs=resolved_intra,
             chunk_size=resolved_chunk,
+            kernel=resolved_kernel,
             explicit=frozenset(explicit),
         )
 
@@ -175,7 +201,7 @@ class Settings:
         applies, re-using the resolver with this instance's values as the
         environment-free baseline.
         """
-        fields = {"cache_dir", "store", "jobs", "intra_jobs", "chunk_size"}
+        fields = {"cache_dir", "store", "jobs", "intra_jobs", "chunk_size", "kernel"}
         unknown = set(changes) - fields
         if unknown:
             raise ReproError(
@@ -193,5 +219,6 @@ class Settings:
         cache = self.cache_dir if self.cache_dir is not None else "-"
         return (
             f"store={self.store} cache_dir={cache} jobs={self.jobs} "
-            f"intra_jobs={self.intra_jobs} chunk_size={self.chunk_size}"
+            f"intra_jobs={self.intra_jobs} chunk_size={self.chunk_size} "
+            f"kernel={self.kernel}"
         )

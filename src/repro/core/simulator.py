@@ -26,19 +26,36 @@ from repro.workloads.base import Workload
 from repro.workloads.registry import get_workload
 
 
-def simulate_trace(trace: Trace, config: MachineConfig) -> SimulationResult:
+def simulate_trace(
+    trace: Trace, config: MachineConfig, kernel: str = "scalar"
+) -> SimulationResult:
     """Run an existing trace through the machine described by ``config``.
 
     Empty traces are rejected here — once, for every simulator path — so
     that no caller can obtain a ``cycles == 0`` result that later explodes
     in speedup ratios.
+
+    ``kernel`` selects the stepper: ``"scalar"`` is the per-instruction
+    dispatch loop, ``"batched"`` the pre-lowered structure-of-arrays
+    stepper (:mod:`repro.machine.batched`).  Both produce bit-identical
+    statistics; machines without a registered batched stepper silently run
+    the scalar kernel.
     """
     if len(trace) == 0:
         raise SimulationError("cannot simulate an empty trace")
+    if kernel not in ("scalar", "batched"):
+        raise SimulationError(
+            f"unknown machine kernel {kernel!r}; available: scalar, batched"
+        )
     # machine-model registry dispatch (repro.core.machines): any registered
     # model — including ones added by downstream code — simulates here
     machine = create_run(config.params, trace)
-    machine.run_slice(trace)
+    if kernel == "batched":
+        from repro.machine.batched import run_slice_batched
+
+        run_slice_batched(machine, trace)
+    else:
+        machine.run_slice(trace)
     stats = machine.finalise()
     return SimulationResult(
         workload=trace.name,
@@ -60,6 +77,7 @@ def simulate_point(
     scale: str,
     config: MachineConfig,
     trace_store: TraceStore | None = None,
+    kernel: str = "scalar",
 ) -> SimulationResult:
     """Simulate one (workload, scale, configuration) point.
 
@@ -72,7 +90,7 @@ def simulate_point(
         trace = trace_store.load_memoised(workload_name, scale)
     else:
         trace = get_workload(workload_name, scale).trace()
-    return simulate_trace(trace, config)
+    return simulate_trace(trace, config, kernel=kernel)
 
 
 def simulate_point_chunked(
@@ -85,6 +103,7 @@ def simulate_point_chunked(
     chunk_store=None,
     pool=None,
     speculate: str = "auto",
+    kernel: str = "scalar",
 ):
     """Chunked counterpart of :func:`simulate_point`.
 
@@ -108,7 +127,7 @@ def simulate_point_chunked(
         trace, config, chunk_size=chunk_size, jobs=intra_jobs,
         speculate=speculate, chunk_store=chunk_store,
         point_fingerprint=fingerprint, pool=pool,
-        trace_source=trace_source,
+        trace_source=trace_source, kernel=kernel,
     )
 
 

@@ -35,6 +35,15 @@ from repro.trace.records import DynInstr, Trace
 #: a per-instruction-class handler: ``(instruction, decode context) -> result``
 Handler = Callable[[DynInstr, Any], Any]
 
+#: per-class dispatch cache: ``{cls: ({kind: function}, default function)}``.
+#: The functions are the *unbound* class attributes, resolved once per class
+#: (first instantiation) instead of rebuilding a bound-method table per
+#: instance; ``run_slice`` calls them as ``func(self, dyn, ctx)``.  The
+#: batched stepper compiler (:mod:`repro.machine.batched`) keys its
+#: per-machine lowerings off the same table.
+_DISPATCH_CACHE: Dict[type, Tuple[Dict[InstrKind, Callable[..., Any]],
+                                  Optional[Callable[..., Any]]]] = {}
+
 
 class StagedMachine:
     """Base class of component-declared, dispatch-table-driven machines.
@@ -71,12 +80,6 @@ class StagedMachine:
         self.horizon = 0
         self.stats = SimStats()
         self._components: Dict[str, Any] = {}
-        self._handlers: Dict[InstrKind, Handler] = {
-            kind: getattr(self, name) for kind, name in self.DISPATCH.items()
-        }
-        self._default_handler: Optional[Handler] = (
-            getattr(self, self.DEFAULT_HANDLER) if self.DEFAULT_HANDLER else None
-        )
         for name in self.SNAPSHOT_SCALARS:
             setattr(self, name, self.SCALAR_DEFAULTS.get(name, 0))
 
@@ -104,6 +107,41 @@ class StagedMachine:
         """The registered components, keyed by snapshot name."""
         return dict(self._components)
 
+    # -- dispatch -------------------------------------------------------------
+
+    @classmethod
+    def dispatch_functions(
+        cls,
+    ) -> Tuple[Dict[InstrKind, Callable[..., Any]], Optional[Callable[..., Any]]]:
+        """The class's resolved dispatch table: ``({kind: func}, default)``.
+
+        Resolved once per class and cached — the functions are the plain
+        class attributes (subclass overrides resolve through the MRO), so
+        callers invoke them as ``func(machine, dyn, ctx)``.
+        """
+        cached = _DISPATCH_CACHE.get(cls)
+        if cached is None:
+            table: Dict[InstrKind, Callable[..., Any]] = {
+                kind: getattr(cls, name) for kind, name in cls.DISPATCH.items()
+            }
+            default: Optional[Callable[..., Any]] = (
+                getattr(cls, cls.DEFAULT_HANDLER) if cls.DEFAULT_HANDLER else None
+            )
+            cached = _DISPATCH_CACHE[cls] = (table, default)
+        return cached
+
+    @property
+    def _handlers(self) -> Dict[InstrKind, Handler]:
+        """Bound handler table (kept for introspection; built on demand)."""
+        table, _ = type(self).dispatch_functions()
+        return {kind: func.__get__(self) for kind, func in table.items()}
+
+    @property
+    def _default_handler(self) -> Optional[Handler]:
+        """Bound default handler (kept for introspection; built on demand)."""
+        _, default = type(self).dispatch_functions()
+        return default.__get__(self) if default is not None else None
+
     # -- execution ------------------------------------------------------------
 
     def execute(self) -> SimStats:
@@ -120,17 +158,19 @@ class StagedMachine:
         (:mod:`repro.parallel`) also snapshots/restores the state between
         slices to stitch independently simulated chunks back together.
         """
-        handlers = self._handlers
-        default = self._default_handler
+        table, default = type(self).dispatch_functions()
+        get = table.get
+        decode = self.decode
+        retire = self.retire
         for dyn in instructions:
-            ctx = self.decode(dyn)
-            handler = handlers.get(dyn.kind, default)
-            if handler is None:
+            ctx = decode(dyn)
+            func = get(dyn.kind, default)
+            if func is None:
                 raise ReproError(
                     f"machine {self.KIND!r} has no handler for {dyn.kind}"
                 )
-            result = handler(dyn, ctx)
-            self.retire(dyn, ctx, result)
+            result = func(self, dyn, ctx)
+            retire(dyn, ctx, result)
 
     def decode(self, dyn: DynInstr) -> Any:
         """Front-end stage run before dispatch (default: nothing)."""

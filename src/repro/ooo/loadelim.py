@@ -21,16 +21,20 @@ access granularity and a validity bit; scalar tags drop ``vl`` and ``vs``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.isa.instructions import ELEMENT_BYTES
 from repro.machine.component import ComponentBase
 from repro.trace.records import DynInstr
 
 
-@dataclass(frozen=True)
-class MemoryTag:
-    """The memory region currently mirrored by one physical register."""
+class MemoryTag(NamedTuple):
+    """The memory region currently mirrored by one physical register.
+
+    A ``NamedTuple`` so the exact-match comparisons the tag tables perform on
+    every load/store (see :meth:`TagTable.find_exact`) are C-level tuple
+    equality rather than generated-dataclass field comparisons.
+    """
 
     region_start: int
     region_end: int

@@ -14,16 +14,20 @@ at a single point; the machine model charges that extra in-order traversal.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.common.resources import InOrderPipe
 from repro.machine.component import ComponentBase
 from repro.trace.records import DynInstr
 
 
-@dataclass
-class _PendingAccess:
-    """A memory instruction that has issued (or will issue) its addresses."""
+class _PendingAccess(NamedTuple):
+    """A memory instruction that has issued (or will issue) its addresses.
+
+    A ``NamedTuple``: the disambiguation window is scanned per memory
+    instruction, so the field reads are hot (C tuple getters), and the rows
+    are never mutated once recorded.
+    """
 
     seq: int
     region_start: int
@@ -39,6 +43,12 @@ class MemoryPipeline(ComponentBase):
     def __init__(self, depth: int = 3) -> None:
         self.pipe = InOrderPipe(depth=depth)
         self._pending: list[_PendingAccess] = []
+        #: subset of ``_pending`` that may still delay a future instruction.
+        #: ``dependence_ready`` is always called with a monotonically
+        #: increasing ``earliest`` (the in-order pipe exit), so a row whose
+        #: ``address_done`` falls at or before one call's ``earliest`` can
+        #: never constrain a later call and is dropped from the scan.
+        self._active: list[_PendingAccess] = []  # check: ignore[state-coverage] pure scan cache, rebuilt from _pending on restore/absorb; never snapshot-visible
         self.dependence_stalls = 0
 
     # -- in-order address pipeline ---------------------------------------------
@@ -60,33 +70,41 @@ class MemoryPipeline(ComponentBase):
         ready = earliest
         if instr.region_start is None:
             return ready
-        for pending in self._pending:
-            if pending.address_done <= ready:
+        active = self._active
+        if not active:
+            return ready
+        start = instr.region_start
+        end = instr.region_end
+        is_store = instr.is_store
+        live: list[_PendingAccess] = []
+        keep = live.append
+        for pending in active:
+            done = pending.address_done
+            if done <= earliest:
+                continue  # dead for this and every future (later) call
+            keep(pending)
+            if done <= ready:
                 continue
-            overlap = (
-                pending.region_start < instr.region_end
-                and instr.region_start < pending.region_end
-            )
-            if not overlap:
-                continue
-            if instr.is_store or pending.is_store:
-                ready = max(ready, pending.address_done)
-                self.dependence_stalls += 1
+            if pending.region_start < end and start < pending.region_end:
+                if is_store or pending.is_store:
+                    ready = done
+                    self.dependence_stalls += 1
+        self._active = live
         return ready
 
     def register_access(self, instr: DynInstr, address_done: int) -> None:
         """Record an access so that younger instructions can be checked against it."""
         if instr.region_start is None:
             return
-        self._pending.append(
-            _PendingAccess(
-                seq=instr.seq,
-                region_start=instr.region_start,
-                region_end=instr.region_end,
-                is_store=instr.is_store,
-                address_done=address_done,
-            )
+        entry = _PendingAccess(
+            seq=instr.seq,
+            region_start=instr.region_start,
+            region_end=instr.region_end,
+            is_store=instr.is_store,
+            address_done=address_done,
         )
+        self._pending.append(entry)
+        self._active.append(entry)
         self._prune()
 
     # -- chunked-simulation state (see repro.parallel) ----------------------
@@ -115,12 +133,14 @@ class MemoryPipeline(ComponentBase):
             )
             for seq, start, end, is_store, done in state["pending"]
         ]
+        self._active = list(self._pending)
         self.dependence_stalls = int(state["dependence_stalls"])
 
     def reset(self) -> None:
         """Return to the freshly constructed (empty) state."""
         self.pipe.reset()
         self._pending = []
+        self._active = []
         self.dependence_stalls = 0
 
     def quiescent(self, anchor: int) -> bool:
@@ -153,6 +173,7 @@ class MemoryPipeline(ComponentBase):
             )
             for seq, start, end, is_store, done in state["pending"]
         ]
+        self._active = list(self._pending)
 
     def _prune(self) -> None:
         """Drop accesses that can no longer constrain anything new.

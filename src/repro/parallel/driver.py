@@ -103,13 +103,19 @@ def _simulate_chunk(task: tuple) -> dict:
     """Worker entry point: simulate one chunk in the canonical frame.
 
     Top-level function so the process pool can pickle it.  ``task`` is
-    ``(params, trace_name, instruction_source, entry_structural)``; the
-    return value is the worker machine's full exit snapshot.
+    ``(params, trace_name, instruction_source, entry_structural, kernel)``;
+    the return value is the worker machine's full exit snapshot.
     """
-    params, name, source, entry_structural = task
+    params, name, source, entry_structural, kernel = task
     run = _make_run(params, name)
     apply_structural(run, entry_structural)
-    run.run_slice(_resolve_instructions(source))
+    instructions = _resolve_instructions(source)
+    if kernel == "batched":
+        from repro.machine.batched import run_slice_batched
+
+        run_slice_batched(run, instructions)
+    else:
+        run.run_slice(instructions)
     return run.snapshot()
 
 
@@ -154,6 +160,7 @@ class ChunkedSimulation:
         point_fingerprint: str | None = None,
         pool: ProcessPoolExecutor | None = None,
         trace_source: tuple[str, str, str] | None = None,
+        kernel: str = "scalar",
     ) -> None:
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
@@ -164,11 +171,18 @@ class ChunkedSimulation:
                 f"unknown speculation mode {speculate!r}; "
                 f"available: {', '.join(SPECULATE_MODES)}"
             )
+        if kernel not in ("scalar", "batched"):
+            raise SimulationError(
+                f"unknown machine kernel {kernel!r}; available: scalar, batched"
+            )
         self.trace = trace
         self.params = params
         self.chunk_size = chunk_size
         self.jobs = max(1, jobs)
         self.speculate = speculate
+        #: stepper kernel for the parent replay and the chunk workers; both
+        #: kernels are bit-identical, so chunk-store entries are shared
+        self.kernel = kernel
         self.chunk_store = chunk_store
         self.point_fingerprint = point_fingerprint
         self._external_pool = pool
@@ -199,7 +213,17 @@ class ChunkedSimulation:
                              plan.start, plan.stop)
         else:
             source = ("inline", self._instructions(plan))
-        return (self.params, self.trace.name, source, plan.entry_structural)
+        return (self.params, self.trace.name, source, plan.entry_structural,
+                self.kernel)
+
+    def _run_slice(self, machine: Any, instructions: Any) -> None:
+        """Advance ``machine`` through ``instructions`` on the active kernel."""
+        if self.kernel == "batched":
+            from repro.machine.batched import run_slice_batched
+
+            run_slice_batched(machine, instructions)
+        else:
+            machine.run_slice(instructions)
 
     # -- execution ----------------------------------------------------------
 
@@ -210,7 +234,7 @@ class ChunkedSimulation:
         if len(cuts) < 2:
             self.report.chunks = 1
             self.report.replayed = 1
-            parent.run_slice(self.trace)
+            self._run_slice(parent, self.trace)
             return parent.finalise()
 
         self.report.chunks = len(cuts)
@@ -305,8 +329,8 @@ class ChunkedSimulation:
             if not speculating:
                 # replay the whole remaining tail in one sequential pass —
                 # no plans, snapshots or digests needed past this point
-                parent.run_slice(
-                    self.trace.instructions[self._cuts[index]:])
+                self._run_slice(
+                    parent, self.trace.instructions[self._cuts[index]:])
                 self.report.replayed += total - index
                 return
             if pool is not None:
@@ -314,8 +338,8 @@ class ChunkedSimulation:
             plan = self._plan(index)
             if plan is None:
                 speculating = False
-                parent.run_slice(
-                    self.trace.instructions[self._cuts[index]:])
+                self._run_slice(
+                    parent, self.trace.instructions[self._cuts[index]:])
                 self.report.replayed += total - index
                 return
             worker_state = None
@@ -334,7 +358,7 @@ class ChunkedSimulation:
             future = self._futures.pop(plan.index, None)
             if future is not None:
                 future.cancel()
-            parent.run_slice(self._instructions(plan))
+            self._run_slice(parent, self._instructions(plan))
             self.report.replayed += 1
             misses += 1
             if (
@@ -412,6 +436,7 @@ def simulate_trace_chunked(
     point_fingerprint: str | None = None,
     pool: ProcessPoolExecutor | None = None,
     trace_source: tuple[str, str, str] | None = None,
+    kernel: str = "scalar",
 ) -> tuple[Any, ChunkedReport]:
     """Chunked counterpart of :func:`repro.core.simulator.simulate_trace`.
 
@@ -424,7 +449,7 @@ def simulate_trace_chunked(
         trace, config.params, chunk_size=chunk_size, jobs=jobs,
         speculate=speculate, chunk_store=chunk_store,
         point_fingerprint=point_fingerprint, pool=pool,
-        trace_source=trace_source,
+        trace_source=trace_source, kernel=kernel,
     )
     stats = sim.run()
     result = SimulationResult(

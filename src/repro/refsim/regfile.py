@@ -23,7 +23,7 @@ from repro.machine.component import ComponentBase
 class BankedVectorRegisterFile(ComponentBase):
     """Tracks read/write port occupancy of the banked register file."""
 
-    def __init__(self, num_vregs: int, regs_per_bank: int, read_ports: int, write_ports: int):
+    def __init__(self, num_vregs: int, regs_per_bank: int, read_ports: int, write_ports: int) -> None:
         if regs_per_bank < 1:
             raise ValueError("regs_per_bank must be at least 1")
         self.num_vregs = num_vregs

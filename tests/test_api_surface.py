@@ -20,6 +20,8 @@ PUBLIC_SURFACE = (
     "Finding",
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
+    "KERNEL_ENV",
+    "KERNEL_NAMES",
     "Machine",
     "MachineConfig",
     "MachineModel",

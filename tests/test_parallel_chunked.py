@@ -26,6 +26,11 @@ from repro.workloads.registry import WORKLOAD_NAMES, get_workload
 
 CONFIG_NAMES = tuple(standard_configs())
 
+#: both stepper kernels — the equivalence battery runs under each, so the
+#: chunked driver's replay/worker paths are exercised on the batched kernel
+#: exactly as on the scalar one
+KERNELS = ("scalar", "batched")
+
 
 @pytest.fixture(autouse=True)
 def _isolated_default_engine():
@@ -38,8 +43,8 @@ def _trace(workload: str, scale: str = "small"):
     return get_workload(workload, scale).trace()
 
 
-def _mono_stats(trace, config):
-    return simulate_trace(trace, config).stats.to_dict()
+def _mono_stats(trace, config, kernel="scalar"):
+    return simulate_trace(trace, config, kernel=kernel).stats.to_dict()
 
 
 def _chunked_stats(trace, config, chunk_size, **kwargs):
@@ -52,8 +57,9 @@ def _chunked_stats(trace, config, chunk_size, **kwargs):
 class TestEquivalenceEveryWorkload:
     """ISSUE: every workload at small scale, any chunk size, identical stats."""
 
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
-    def test_small_scale_identical_stats(self, workload):
+    def test_small_scale_identical_stats(self, workload, kernel):
         # rotate configurations across workloads so the battery covers all
         # five machines without simulating the full cross product twice
         config = get_config(
@@ -61,18 +67,21 @@ class TestEquivalenceEveryWorkload:
         trace = _trace(workload)
         mono = _mono_stats(trace, config)
         for chunk_size in (211, 1024):
-            chunked, report = _chunked_stats(trace, config, chunk_size)
-            assert chunked == mono, (workload, config.name, chunk_size)
+            chunked, report = _chunked_stats(trace, config, chunk_size,
+                                             kernel=kernel)
+            assert chunked == mono, (workload, config.name, chunk_size, kernel)
             assert report.accepted + report.replayed == report.chunks
 
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("config_name", CONFIG_NAMES)
-    def test_every_config_on_one_workload(self, config_name):
+    def test_every_config_on_one_workload(self, config_name, kernel):
         config = get_config(config_name)
         trace = _trace("tomcatv")
         mono = _mono_stats(trace, config)
         for mode in ("always", "never", "auto"):
-            chunked, _ = _chunked_stats(trace, config, 389, speculate=mode)
-            assert chunked == mono, (config_name, mode)
+            chunked, _ = _chunked_stats(trace, config, 389, speculate=mode,
+                                        kernel=kernel)
+            assert chunked == mono, (config_name, mode, kernel)
 
     def test_stall_counters_and_figure10_inputs_survive_chunking(self):
         # the Figure 10 exhibit reads exactly these counters; spell the
@@ -96,12 +105,13 @@ class TestEquivalenceProperty:
     @given(
         chunk_size=st.integers(min_value=1, max_value=700),
         config_name=st.sampled_from(CONFIG_NAMES),
+        kernel=st.sampled_from(KERNELS),
     )
     @settings(max_examples=10, deadline=None)
-    def test_arbitrary_chunk_sizes(self, chunk_size, config_name):
+    def test_arbitrary_chunk_sizes(self, chunk_size, config_name, kernel):
         config = get_config(config_name)
         trace = _trace("su2cor", "tiny")
-        chunked, _ = _chunked_stats(trace, config, chunk_size)
+        chunked, _ = _chunked_stats(trace, config, chunk_size, kernel=kernel)
         assert chunked == _mono_stats(trace, config)
 
     def test_chunk_size_one_and_trace_length(self):
@@ -235,6 +245,51 @@ class TestPoolExecution:
             pytest.skip("process pools unavailable in this sandbox")
         assert chunked == mono
         assert report.replayed >= 1
+
+
+class TestAutoBackoffIsolation:
+    """Auto-backoff state is per-run: a hostile point never poisons the next.
+
+    The backoff counters live as locals of one ``ChunkedSimulation._stitch``
+    call; this pins that contract so a refactor hoisting them to module or
+    class state (where a speculation-hostile OOO point would disable
+    speculation for every later point of a sweep) fails loudly.
+    """
+
+    def test_backoff_does_not_leak_across_points(self, tmp_path):
+        hostile = get_config("ooo-late-sle-vle")
+        friendly = get_config("reference")
+        trace = _trace("tomcatv", "tiny")
+        mono = _mono_stats(trace, friendly)
+
+        # warm the friendly point's chunk store so a later "auto" run can
+        # accept from cache even without a worker pool
+        _chunked_stats(trace, friendly, 150,
+                       chunk_store=ChunkStore(tmp_path),
+                       point_fingerprint="fp-friendly")
+
+        # the deep OOO pipeline misses its first cuts: auto-backoff fires
+        _, hostile_report = _chunked_stats(trace, hostile, 150,
+                                           speculate="auto")
+        assert hostile_report.backoff_at >= 0
+
+        # a fresh simulation immediately after must speculate from scratch
+        chunked, report = _chunked_stats(
+            trace, friendly, 150, speculate="auto",
+            chunk_store=ChunkStore(tmp_path),
+            point_fingerprint="fp-friendly")
+        assert chunked == mono
+        assert report.backoff_at == -1
+        assert report.accepted > 0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_backoff_runs_are_still_bit_identical(self, kernel):
+        config = get_config("ooo-late-sle-vle")
+        trace = _trace("tomcatv", "tiny")
+        chunked, report = _chunked_stats(trace, config, 150,
+                                         speculate="auto", kernel=kernel)
+        assert report.backoff_at >= 0
+        assert chunked == _mono_stats(trace, config)
 
 
 class TestChunkStore:
