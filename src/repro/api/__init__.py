@@ -6,10 +6,18 @@ here, with no environment variables and no process-global state:
 * :class:`Settings` — frozen runtime configuration with the documented
   precedence **explicit kwargs > environment > defaults**
   (:meth:`Settings.resolve`);
+* :class:`ExecutionPlan` — the frozen *how-to-execute* value object
+  (pool width, chunking, kernel, fleet) resolved once by
+  :meth:`Settings.plan` and passed whole to the engine;
 * :class:`Session` — owns the cache directory, result/trace/chunk stores
   and the experiment engine; a context manager, one per driver;
 * :class:`RunRequest` / :class:`RunResult` — declarative workload ×
   configuration sweep grids and their resolved results, as data;
+* :meth:`Session.submit` / :class:`RunHandle` / :class:`RunStatus` — the
+  submit-and-watch form of grid execution: one handle shape whether the
+  grid runs in-process, on a local pool, or on a fleet of workers
+  (``Settings(fleet=N)`` / ``REPRO_FLEET``) sharing the object-store
+  bucket; ``Session.run`` is ``submit(...).result()``;
 * :class:`ExhibitSet` / :class:`ExhibitResult` — every table and figure
   of the paper's evaluation as data plus its text/JSON/CSV renderings;
 * :class:`Machine` / :class:`MachineModel` / :func:`register_machine` —
@@ -59,14 +67,17 @@ from repro.api.request import (
     RunResult,
     resolve_scale,
 )
+from repro.api.handle import RunHandle, RunStatus
 from repro.api.session import Session, engine_summary_dict
 from repro.api.settings import (
     CACHE_DIR_ENV,
     CHUNK_SIZE_ENV,
+    FLEET_ENV,
     INTRA_JOBS_ENV,
     JOBS_ENV,
     KERNEL_ENV,
     KERNEL_NAMES,
+    ExecutionPlan,
     Settings,
 )
 from repro.checks import Finding, run_checks
@@ -74,8 +85,10 @@ from repro.checks import Finding, run_checks
 __all__ = [
     "CACHE_DIR_ENV",
     "CHUNK_SIZE_ENV",
+    "ExecutionPlan",
     "ExhibitResult",
     "ExhibitSet",
+    "FLEET_ENV",
     "Finding",
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
@@ -84,8 +97,10 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "MachineModel",
+    "RunHandle",
     "RunRequest",
     "RunResult",
+    "RunStatus",
     "SCALE_ALIASES",
     "Session",
     "Settings",

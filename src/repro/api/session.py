@@ -31,6 +31,9 @@ import time
 from pathlib import Path
 from typing import Any, ContextManager, Iterable, Iterator, Mapping, Optional, Tuple
 
+from dataclasses import replace
+
+from repro.api.handle import RunHandle
 from repro.api.request import (
     ExhibitResult,
     ExhibitSet,
@@ -71,6 +74,11 @@ def engine_summary_dict(engine: ExperimentEngine) -> dict[str, Any]:
         "kernel": engine.kernel,
         "store": engine.store.describe(),
     }
+    if engine.fleet:
+        summary["fleet"] = {
+            "workers": engine.fleet,
+            "dispatched": engine.fleet_points,
+        }
     if engine.chunk_size:
         summary["chunked"] = {
             "chunk_size": engine.chunk_size,
@@ -105,13 +113,7 @@ class Session:
             else None
         )
         self._store = ResultStore(settings.cache_dir, backend=backend)
-        self.engine = ExperimentEngine(
-            self._store,
-            jobs=settings.jobs,
-            intra_jobs=settings.intra_jobs,
-            chunk_size=settings.chunk_size,
-            kernel=settings.kernel,
-        )
+        self.engine = ExperimentEngine(self._store, plan=settings.plan())
         self._closed = False
 
     # -- owned components ----------------------------------------------------
@@ -137,13 +139,20 @@ class Session:
 
     # -- grid execution ------------------------------------------------------
 
-    def run(self, request: RunRequest) -> RunResult:
-        """Execute a workload × configuration grid through the caches.
+    def submit(self, request: RunRequest) -> RunHandle:
+        """Submit a workload × configuration grid; returns a :class:`RunHandle`.
 
-        Missing points simulate (in parallel per the effective settings);
-        cached points are served as defensive copies.  Per-request
-        ``jobs``/``intra_jobs``/``chunk_size`` overrides run on a transient
-        engine that shares this session's stores.
+        The handle has the same shape whatever the execution mode —
+        ``handle.status()`` for progress, ``handle.watch(timeout=...)`` to
+        block, ``handle.result()`` for the finished
+        :class:`~repro.api.RunResult`.  With fleet execution enabled
+        (``Settings(fleet=N)`` / ``REPRO_FLEET``) the grid's cache misses
+        are enqueued on the shared object-store queue *now* and workers
+        start immediately; otherwise nothing executes until the first
+        ``watch()``/``result()`` call (see :mod:`repro.api.handle`).
+
+        Per-request ``jobs``/``intra_jobs``/``chunk_size`` overrides run on
+        a transient engine that shares this session's stores.
         """
         self._check_open()
         workloads = request.resolved_workloads()
@@ -151,12 +160,18 @@ class Session:
         scale = request.resolved_scale()
         engine = self._engine_for(request)
         spec = ExperimentSpec.grid("api-run", workloads, configs, scale=scale)
-        resolved = engine.run_spec(spec)
-        results = {
-            (point.workload, point.config): result
-            for point, result in resolved.items()
-        }
-        return RunResult(request=request, results=results)
+        handle = RunHandle(self, request, engine, spec)
+        if engine.fleet:
+            handle._enqueue()
+        return handle
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute a grid and wait for it: ``submit(request).result()``.
+
+        Missing points simulate (in parallel or on the fleet, per the
+        effective settings); cached points are served as defensive copies.
+        """
+        return self.submit(request).result()
 
     def result(
         self,
@@ -351,10 +366,11 @@ class Session:
         self._store.flush()
 
     def close(self) -> None:
-        """Flush and close the store backend; the session becomes unusable."""
+        """Drain spawned fleet workers, flush and close the store backend;
+        the session becomes unusable."""
         if not self._closed:
             self._closed = True
-            self._store.close()
+            self.engine.close()
 
     def __enter__(self) -> "Session":
         self._check_open()
@@ -373,19 +389,17 @@ class Session:
             and request.chunk_size is None
         ):
             return self.engine
+        overrides = {
+            name: value
+            for name, value in (
+                ("jobs", request.jobs),
+                ("intra_jobs", request.intra_jobs),
+                ("chunk_size", request.chunk_size),
+            )
+            if value is not None
+        }
         return ExperimentEngine(
             store=self._store,
-            jobs=request.jobs if request.jobs is not None else self.settings.jobs,
+            plan=replace(self.settings.plan(), **overrides),
             trace_store=self.trace_store,
-            intra_jobs=(
-                request.intra_jobs
-                if request.intra_jobs is not None
-                else self.settings.intra_jobs
-            ),
-            chunk_size=(
-                request.chunk_size
-                if request.chunk_size is not None
-                else self.settings.chunk_size
-            ),
-            kernel=self.settings.kernel,
         )

@@ -16,10 +16,12 @@ from __future__ import annotations
 from repro.core.settings import (
     CACHE_DIR_ENV,
     CHUNK_SIZE_ENV,
+    FLEET_ENV,
     INTRA_JOBS_ENV,
     JOBS_ENV,
     KERNEL_ENV,
     KERNEL_NAMES,
+    ExecutionPlan,
     Settings,
 )
 from repro.core.store import STORE_ENV
@@ -27,10 +29,12 @@ from repro.core.store import STORE_ENV
 __all__ = [
     "CACHE_DIR_ENV",
     "CHUNK_SIZE_ENV",
+    "FLEET_ENV",
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
     "KERNEL_ENV",
     "KERNEL_NAMES",
     "STORE_ENV",
+    "ExecutionPlan",
     "Settings",
 ]

@@ -21,6 +21,16 @@ paper's evaluation in one command, batched through the experiment engine::
 * ``--exhibits``  — comma-separated subset (e.g. ``figure5,figure8``);
 * ``--programs``  — comma-separated subset of the ten benchmark programs.
 
+* ``--fleet``     — delegate missing simulation points to ``N`` fleet
+  worker processes coordinating through the object-store bucket under the
+  cache directory (requires ``--cache-dir``; ``REPRO_FLEET`` sets the
+  default).  External workers sharing the bucket join in.
+
+``python -m repro.cli worker --store-root D`` runs one fleet worker
+against the bucket under ``D`` — the claim → simulate → publish loop of
+:mod:`repro.fleet.worker`.  Start any number, on any host that can see
+``D``; SIGTERM drains gracefully.  See the README's FLEET section.
+
 ``python -m repro.cli gc --cache-dir D`` evicts cache entries that are
 corrupt, version-stale or no longer validate; ``python -m repro.cli list``
 prints the available exhibits and programs.
@@ -85,6 +95,10 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     run_all.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
                          help="machine stepper kernel (default: $REPRO_KERNEL "
                               "or scalar; results are bit-identical)")
+    run_all.add_argument("--fleet", type=int, default=None, metavar="N",
+                         help="delegate missing points to N fleet workers "
+                              "sharing the cache dir's object-store bucket "
+                              "(default: $REPRO_FLEET or 0 = disabled)")
     run_all.add_argument("--cache-dir", default=None, metavar="D",
                          help="persistent on-disk result store directory")
     run_all.add_argument("--store", choices=BACKEND_NAMES, default=None,
@@ -134,6 +148,28 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     check.add_argument("--format", choices=("text", "json"), default="text",
                        help="report format (default: text)")
 
+    worker = sub.add_parser(
+        "worker",
+        help="run one fleet worker against an object-store bucket")
+    worker.add_argument("--store-root", required=True, metavar="D",
+                        help="the shared store root (a Session's cache dir); "
+                             "the queue and results live under D/objects/")
+    worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="exit after executing N tasks (default: no limit)")
+    worker.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                        help="task lease time-to-live in seconds; a worker "
+                             "dead longer than this forfeits its task "
+                             "(default: 30)")
+    worker.add_argument("--poll", type=float, default=None, metavar="S",
+                        help="seconds between polls of an empty queue "
+                             "(default: 0.5)")
+    worker.add_argument("--idle-timeout", type=float, default=None, metavar="S",
+                        help="exit after this many seconds without claimable "
+                             "work (default: poll forever)")
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="stable worker identity for lease records "
+                             "(default: host-pid-random)")
+
     sub.add_parser("list", help="list available exhibits and programs")
     return parser.parse_args(argv)
 
@@ -152,7 +188,8 @@ def _session_settings(args: argparse.Namespace) -> Settings:
     overrides: dict[str, Any] = {}
     for flag, field in (("cache_dir", "cache_dir"), ("store", "store"),
                         ("jobs", "jobs"), ("intra_jobs", "intra_jobs"),
-                        ("chunk_size", "chunk_size"), ("kernel", "kernel")):
+                        ("chunk_size", "chunk_size"), ("kernel", "kernel"),
+                        ("fleet", "fleet")):
         value = getattr(args, flag, None)
         if value is not None:
             overrides[field] = value
@@ -232,6 +269,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fleet.worker import DEFAULT_POLL_S, Worker
+    from repro.fleet.queue import DEFAULT_LEASE_TTL
+
+    if args.max_tasks is not None and args.max_tasks < 1:
+        return _error("--max-tasks must be at least 1")
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        return _error("--lease-ttl must be positive")
+    if args.poll is not None and args.poll <= 0:
+        return _error("--poll must be positive")
+    try:
+        worker = Worker(
+            args.store_root,
+            worker_id=args.worker_id,
+            lease_ttl=(args.lease_ttl if args.lease_ttl is not None
+                       else DEFAULT_LEASE_TTL),
+            poll_s=args.poll if args.poll is not None else DEFAULT_POLL_S,
+            max_tasks=args.max_tasks,
+            idle_timeout=args.idle_timeout,
+            log=lambda message: print(message, file=sys.stderr, flush=True),
+        )
+    except ReproError as exc:
+        return _error(exc)
+    worker.install_signal_handlers()
+    print(f"worker {worker.worker_id} polling {worker.store_root}",
+          file=sys.stderr, flush=True)
+    try:
+        worker.run()
+    except ReproError as exc:
+        return _error(exc)
+    print(worker.summary(), file=sys.stderr, flush=True)
+    return 0
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 1:
         return _error("--jobs must be at least 1")
@@ -239,6 +310,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         return _error("--intra-jobs must be at least 1")
     if args.chunk_size is not None and args.chunk_size < 0:
         return _error("--chunk-size must be non-negative")
+    if args.fleet is not None and args.fleet < 0:
+        return _error("--fleet must be non-negative")
     # Empty subsets get flag-specific messages here; unknown names are
     # rejected by the session with the same error text the CLI always used.
     exhibit_names = split_names(args.exhibits)
@@ -253,6 +326,10 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         session = Session(_session_settings(args))
     except ReproError as exc:
         return _error(exc)
+    if session.settings.fleet and session.settings.cache_dir is None:
+        session.close()
+        return _error("--fleet requires --cache-dir (or REPRO_CACHE_DIR): "
+                      "workers coordinate through the object store under it")
 
     with session:
         computed = []
@@ -314,6 +391,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     return _cmd_run_all(args)
 
 

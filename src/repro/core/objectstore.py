@@ -93,18 +93,31 @@ class ObjectStore:
             return None
 
     def list(self, prefix: str = "") -> Iterator[str]:
-        """Yield every stored key under ``prefix``, in sorted order.
+        """Yield every stored key under ``prefix``, sorted by full key string.
+
+        The ordering is part of the backend contract, not a convenience:
+        ``list`` returns keys in **lexicographic order of the complete
+        ``/``-joined key string** (S3's ListObjects order), regardless of
+        how the underlying filesystem enumerates directories.  The fleet's
+        :class:`~repro.fleet.queue.LeaseQueue` resolves claim races by
+        taking the lexicographically-first entrant, so any two processes
+        listing the same keys must agree on who that is.  (Note this is
+        *not* the same as sorting ``Path`` objects, which compares
+        per-component and would order ``a/c`` before ``a-b``.)
 
         Temp files from in-flight (or crashed) writers are never listed.
         """
         base = self.root if not prefix else self._path(prefix)
         if not base.is_dir():
             return
-        for path in sorted(base.rglob("*")):
+        keys = [
+            self._key(path)
+            for path in base.rglob("*")
             if path.is_file() and not (
                 path.name.startswith(".") and path.name.endswith(".tmp")
-            ):
-                yield self._key(path)
+            )
+        ]
+        yield from sorted(keys)
 
     def delete(self, key: str) -> bool:
         """Remove the object if present; returns whether it existed.

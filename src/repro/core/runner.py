@@ -42,9 +42,9 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager as _contextmanager
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.common.errors import ReproError
 from repro.common.params import params_to_dict
@@ -68,8 +68,12 @@ from repro.core.settings import (  # noqa: E402  (re-export)
     CHUNK_SIZE_ENV,
     INTRA_JOBS_ENV,
     JOBS_ENV,
+    ExecutionPlan,
     Settings,
 )
+
+if TYPE_CHECKING:
+    from repro.fleet.dispatcher import FleetDispatcher
 
 #: subdirectory of the cache dir holding memoised compiled traces
 TRACE_SUBDIR = "traces"
@@ -154,6 +158,28 @@ def _simulate_point(
     ).to_dict()
 
 
+def result_payload(point: ExperimentPoint, result: SimulationResult) -> dict:
+    """The canonical persisted entry for ``(point, result)``.
+
+    Every publisher of results — :class:`ResultStore` locally, fleet
+    workers remotely — builds its payload here, so a result object is
+    byte-identical no matter which process wrote it.  That identity is
+    what makes fleet publication idempotent: two workers racing on the
+    same task overwrite each other with the same bytes.
+    """
+    return {
+        "version": STORE_VERSION,
+        "key": {
+            "workload": point.workload,
+            "scale": point.scale,
+            "config_name": point.config.name,
+            "fingerprint": point.fingerprint(),
+            "params": params_to_dict(point.config.params),
+        },
+        "result": result.to_dict(),
+    }
+
+
 class ResultStore:
     """Two-level simulation-result cache: in-memory dict plus a disk backend.
 
@@ -227,18 +253,7 @@ class ResultStore:
         key = point.fingerprint()
         self._memory[key] = result
         if self.backend is not None:
-            payload = {
-                "version": STORE_VERSION,
-                "key": {
-                    "workload": point.workload,
-                    "scale": point.scale,
-                    "config_name": point.config.name,
-                    "fingerprint": key,
-                    "params": params_to_dict(point.config.params),
-                },
-                "result": result.to_dict(),
-            }
-            self.backend.put(key, point, payload)
+            self.backend.put(key, point, result_payload(point, result))
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
@@ -266,42 +281,85 @@ class ResultStore:
         return self.backend.describe() if self.backend is not None else "memory"
 
 
+#: legacy ``ExperimentEngine(...)`` keyword arguments that now live on
+#: :class:`~repro.core.settings.ExecutionPlan` (accepted with a warning)
+_LEGACY_ENGINE_KWARGS = ("jobs", "intra_jobs", "chunk_size", "kernel")
+
+
 class ExperimentEngine:
-    """Executes sweep grids against a result store, optionally in parallel."""
+    """Executes sweep grids against a result store, per an execution plan.
+
+    The *how* of execution — process-pool width, intra-point chunking, the
+    stepper kernel, fleet delegation — arrives as one frozen
+    :class:`~repro.core.settings.ExecutionPlan` (normally built by
+    :meth:`Settings.plan() <repro.core.settings.Settings.plan>`), not as
+    loose keywords.  The engine never re-interprets environment variables
+    or re-validates knob combinations: the plan was resolved exactly once.
+
+    With ``plan.fleet > 0`` the engine stops executing points itself and
+    delegates every cache miss to a :class:`~repro.fleet.dispatcher.
+    FleetDispatcher` — submit the batch to the shared object-store queue,
+    watch it drain (spawning ``plan.fleet`` local workers), collect the
+    published results.  Exhibits are byte-identical either way.
+
+    The pre-plan keyword form (``jobs=``, ``intra_jobs=``, ``chunk_size=``,
+    ``kernel=``) still works, with a :class:`DeprecationWarning` and
+    unchanged behaviour.
+    """
 
     def __init__(
         self,
         store: ResultStore | None = None,
-        jobs: int = 1,
+        plan: ExecutionPlan | None = None,
         trace_store: TraceStore | None = None,
-        intra_jobs: int = 1,
-        chunk_size: int = 0,
-        kernel: str = "scalar",
+        **legacy: Any,
     ) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be at least 1")
-        if intra_jobs < 1:
-            raise ValueError("intra_jobs must be at least 1")
-        if chunk_size < 0:
-            raise ValueError("chunk_size must be non-negative")
-        if kernel not in ("scalar", "batched"):
-            raise ValueError(
-                f"unknown machine kernel {kernel!r}; available: scalar, batched"
+        unknown = set(legacy) - set(_LEGACY_ENGINE_KWARGS)
+        if unknown:
+            raise TypeError(
+                "ExperimentEngine() got unexpected keyword argument(s): "
+                + ", ".join(sorted(unknown))
             )
+        if isinstance(plan, int):
+            # pre-plan signature: the second positional argument was `jobs`
+            legacy = {"jobs": plan, **legacy}
+            plan = None
+        if legacy:
+            if plan is not None:
+                raise TypeError(
+                    "pass execution knobs on the ExecutionPlan, not alongside "
+                    "it: ExperimentEngine(store, plan=ExecutionPlan(...))"
+                )
+            warnings.warn(
+                "ExperimentEngine(jobs=..., intra_jobs=..., chunk_size=..., "
+                "kernel=...) is deprecated; pass "
+                "plan=repro.api.ExecutionPlan(...) (or Settings.plan()) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        # ExecutionPlan validates in __post_init__ with the same ValueError
+        # messages the old inline checks raised
+        plan = replace(plan, **legacy) if plan is not None else ExecutionPlan(**legacy)
+        self.plan = plan
         self.store = store if store is not None else ResultStore()
-        self.jobs = jobs
+        #: process-pool width across points (mirrors ``plan.jobs``)
+        self.jobs = plan.jobs
         #: chunk-level worker processes *within* one simulation point; when
         #: > 1 (or when a chunk size is forced) points run sequentially and
         #: the parallelism moves inside each point (see repro.parallel)
-        self.intra_jobs = intra_jobs
+        self.intra_jobs = plan.intra_jobs
         #: machine stepper kernel used for every simulation this engine runs
         #: ("scalar" or "batched"; results are bit-identical either way)
-        self.kernel = kernel
+        self.kernel = plan.kernel
+        #: local fleet workers to spawn (0: fleet delegation disabled)
+        self.fleet = plan.fleet
         from repro.parallel import DEFAULT_CHUNK_SIZE
 
-        self.chunk_size = chunk_size or (
-            DEFAULT_CHUNK_SIZE if intra_jobs > 1 else 0
+        self.chunk_size = plan.chunk_size or (
+            DEFAULT_CHUNK_SIZE if plan.intra_jobs > 1 else 0
         )
+        self._dispatcher: "FleetDispatcher | None" = None
         if trace_store is None and self.store.cache_dir is not None:
             trace_store = TraceStore(self.store.cache_dir / TRACE_SUBDIR)
         self.trace_store = trace_store
@@ -319,6 +377,8 @@ class ExperimentEngine:
         self._ensured: set[tuple[str, str]] = set()
         #: points actually simulated (cache misses) over this engine's life
         self.simulated = 0
+        #: points delegated to the fleet (subset of ``simulated``)
+        self.fleet_points = 0
         #: chunk-level accounting aggregated over all chunked points
         self.chunks_accepted = 0
         self.chunks_replayed = 0
@@ -379,6 +439,8 @@ class ExperimentEngine:
         if not points:
             return []
         self._prewarm_traces(points)
+        if self.fleet:
+            return self._execute_fleet(points)
         if self.chunk_size:
             return self._execute_chunked(points)
         if self.jobs > 1 and len(points) > 1:
@@ -437,6 +499,46 @@ class ExperimentEngine:
                 pool.shutdown(wait=False, cancel_futures=True)
         return results
 
+    def fleet_dispatcher(self) -> "FleetDispatcher":
+        """The engine's fleet dispatcher, created on first use.
+
+        Fleet delegation coordinates through the object-store bucket under
+        the result store's cache directory, so a cache dir is mandatory —
+        a memory-only engine has no bucket for workers to share.
+        """
+        if self._dispatcher is None:
+            if self.store.cache_dir is None:
+                raise ReproError(
+                    "fleet execution requires a cache directory "
+                    "(--cache-dir / REPRO_CACHE_DIR): workers coordinate "
+                    "through the object store under it"
+                )
+            from repro.fleet.dispatcher import FleetDispatcher
+
+            self._dispatcher = FleetDispatcher(
+                self.store.cache_dir,
+                spawn=self.fleet,
+                kernel=self.kernel,
+                chunk_size=self.plan.chunk_size,
+            )
+        return self._dispatcher
+
+    def _execute_fleet(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
+        """Delegate the batch to the fleet: submit, watch, collect.
+
+        The engine reduces to a producer here — every point is enqueued on
+        the shared :class:`~repro.fleet.queue.LeaseQueue`, workers (the
+        ``plan.fleet`` spawned locally, plus any others sharing the bucket)
+        simulate and publish, and the dispatcher hands back the published
+        results in batch order.  Results re-enter :meth:`run_spec` exactly
+        as locally computed ones would.
+        """
+        dispatcher = self.fleet_dispatcher()
+        batch = dispatcher.submit(points)
+        dispatcher.watch(batch)
+        self.fleet_points += len(points)
+        return dispatcher.collect(batch)
+
     def _execute_parallel(self, points: Sequence[ExperimentPoint]) -> list[SimulationResult]:
         workers = min(self.jobs, len(points))
         chunksize = max(1, len(points) // (workers * 4))
@@ -454,6 +556,20 @@ class ExperimentEngine:
                 )
             )
         return [SimulationResult.from_dict(payload) for payload in payloads]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown_fleet(self) -> None:
+        """Drain spawned fleet workers (no-op when none were started)."""
+        if self._dispatcher is not None:
+            self._dispatcher.shutdown()
+            self._dispatcher = None
+
+    def close(self) -> None:
+        """Release engine resources: drain spawned fleet workers, close the
+        store (flushing buffered metadata / releasing SQLite handles)."""
+        self.shutdown_fleet()
+        self.store.close()
 
     # -- statistics ---------------------------------------------------------
 
@@ -474,6 +590,8 @@ class ExperimentEngine:
         )
         if self.kernel != "scalar":
             line += f", kernel={self.kernel}"
+        if self.fleet:
+            line += f", fleet={self.fleet} ({self.fleet_points} dispatched)"
         if self.chunk_size:
             line += (
                 f", chunked x{self.chunk_size} intra-jobs={self.intra_jobs} "
@@ -520,10 +638,7 @@ def get_engine() -> ExperimentEngine:
                 settings.cache_dir,
                 backend=settings.store if settings.cache_dir is not None else None,
             ),
-            jobs=settings.jobs,
-            intra_jobs=settings.intra_jobs,
-            chunk_size=settings.chunk_size,
-            kernel=settings.kernel,
+            plan=settings.plan(),
         )
     return _default_engine
 
@@ -551,15 +666,15 @@ def configure_engine(
         stacklevel=2,
     )
     engine = ExperimentEngine(
-        ResultStore(cache_dir, backend=store), jobs=jobs,
-        intra_jobs=intra_jobs, chunk_size=chunk_size,
+        ResultStore(cache_dir, backend=store),
+        plan=ExecutionPlan(jobs=jobs, intra_jobs=intra_jobs, chunk_size=chunk_size),
     )
     set_engine(engine)
     return engine
 
 
 @_contextmanager
-def engine_scope(engine: ExperimentEngine):
+def engine_scope(engine: ExperimentEngine) -> Iterator[ExperimentEngine]:
     """Temporarily install ``engine`` as the process-wide default.
 
     Unlike :func:`set_engine`, neither the outgoing nor the incoming
@@ -580,18 +695,17 @@ def engine_scope(engine: ExperimentEngine):
 def set_engine(engine: ExperimentEngine | None) -> None:
     """Install ``engine`` as the default (``None`` resets to lazy creation).
 
-    The outgoing engine's store is closed (flushing buffered metadata and
-    releasing any SQLite connection) unless the incoming engine shares it.
+    The outgoing engine's fleet dispatcher (if any) is drained, and its
+    store closed (flushing buffered metadata and releasing any SQLite
+    connection) unless the incoming engine shares the store.
     """
     global _default_engine
     previous = _default_engine
     _default_engine = engine
-    if (
-        previous is not None
-        and previous is not engine
-        and (engine is None or previous.store is not engine.store)
-    ):
-        previous.store.close()
+    if previous is not None and previous is not engine:
+        previous.shutdown_fleet()
+        if engine is None or previous.store is not engine.store:
+            previous.store.close()
 
 
 def run_experiment(

@@ -35,6 +35,11 @@ Environment variables (all optional):
                               per-instruction dispatch loop) or ``batched``
                               (the SoA pre-lowered stepper; invalid values
                               are an error)
+``REPRO_FLEET``               distributed execution: number of local
+                              ``repro worker`` processes the engine spawns
+                              and dispatches to through the object-store
+                              lease queue (0, the default, disables fleet
+                              dispatch; clamped to ≥ 0)
 ============================  =============================================
 """
 
@@ -57,6 +62,8 @@ INTRA_JOBS_ENV = "REPRO_INTRA_JOBS"
 CHUNK_SIZE_ENV = "REPRO_CHUNK_SIZE"
 #: environment variable selecting the machine stepper kernel
 KERNEL_ENV = "REPRO_KERNEL"
+#: environment variable enabling fleet dispatch (worker count to spawn)
+FLEET_ENV = "REPRO_FLEET"
 
 #: the available machine stepper kernels (see :mod:`repro.machine.batched`)
 KERNEL_NAMES = ("scalar", "batched")
@@ -74,6 +81,61 @@ def _env_int(env: Mapping[str, str], name: str, default: int, minimum: int) -> i
         return max(minimum, int(raw))
     except ValueError:
         return default
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a batch of simulation points executes, as one frozen value.
+
+    Before this object existed the same execution knobs — sweep-level
+    worker processes, chunk workers, chunk size, stepper kernel — travelled
+    as loose keyword arguments through three
+    :class:`~repro.core.runner.ExperimentEngine` call sites, each free to
+    default them differently.  A plan is resolved **once** (usually by
+    :meth:`Settings.plan`) and passed whole; the engine no longer interprets
+    the environment or re-validates knob combinations.
+
+    Invalid values raise :class:`ValueError` at construction (the same
+    exception the engine's keyword arguments historically raised), so a
+    plan that exists is always runnable.
+    """
+
+    #: worker processes fanning out the points of a sweep grid
+    jobs: int = 1
+    #: chunk worker processes *within* one simulation point
+    intra_jobs: int = 1
+    #: instructions per simulation chunk (0: monolithic unless intra_jobs > 1)
+    chunk_size: int = 0
+    #: machine stepper kernel (``scalar`` or ``batched``)
+    kernel: str = "scalar"
+    #: local ``repro worker`` processes to spawn for fleet dispatch
+    #: (0: execute in-process; see :mod:`repro.fleet`)
+    fleet: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.intra_jobs < 1:
+            raise ValueError("intra_jobs must be at least 1")
+        if self.chunk_size < 0:
+            raise ValueError("chunk_size must be non-negative")
+        if self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown machine kernel {self.kernel!r}; "
+                f"available: {', '.join(KERNEL_NAMES)}"
+            )
+        if self.fleet < 0:
+            raise ValueError("fleet must be non-negative")
+
+    def describe(self) -> str:
+        """One-line human-readable summary (engine/CLI trailers)."""
+        line = (
+            f"jobs={self.jobs} intra_jobs={self.intra_jobs} "
+            f"chunk_size={self.chunk_size} kernel={self.kernel}"
+        )
+        if self.fleet:
+            line += f" fleet={self.fleet}"
+        return line
 
 
 @dataclass(frozen=True)
@@ -96,6 +158,8 @@ class Settings:
     chunk_size: int = 0
     #: machine stepper kernel (``scalar`` or ``batched``)
     kernel: str = "scalar"
+    #: local fleet workers to spawn (0: in-process execution, the default)
+    fleet: int = 0
     #: names of the fields that were passed explicitly to :meth:`resolve`
     explicit: frozenset[str] = field(default=frozenset(), compare=False)
 
@@ -109,6 +173,7 @@ class Settings:
         intra_jobs: Any = _UNSET,
         chunk_size: Any = _UNSET,
         kernel: Any = _UNSET,
+        fleet: Any = _UNSET,
         env: Mapping[str, str] | None = None,
     ) -> "Settings":
         """Resolve settings as **explicit kwargs > environment > defaults**.
@@ -170,6 +235,11 @@ class Settings:
         else:
             resolved_chunk = _explicit_int("chunk_size", chunk_size, minimum=0)
 
+        if fleet is _UNSET:
+            resolved_fleet = _env_int(environ, FLEET_ENV, default=0, minimum=0)
+        else:
+            resolved_fleet = _explicit_int("fleet", fleet, minimum=0)
+
         if kernel is _UNSET:
             resolved_kernel = environ.get(KERNEL_ENV) or "scalar"
             source = f" (from ${KERNEL_ENV})"
@@ -190,7 +260,24 @@ class Settings:
             intra_jobs=resolved_intra,
             chunk_size=resolved_chunk,
             kernel=resolved_kernel,
+            fleet=resolved_fleet,
             explicit=frozenset(explicit),
+        )
+
+    def plan(self) -> ExecutionPlan:
+        """The :class:`ExecutionPlan` these settings describe.
+
+        This is the single point where settings become an engine execution
+        strategy: :class:`~repro.api.Session` (and the CLI through it)
+        resolves the plan once here and passes it whole to
+        :class:`~repro.core.runner.ExperimentEngine`.
+        """
+        return ExecutionPlan(
+            jobs=self.jobs,
+            intra_jobs=self.intra_jobs,
+            chunk_size=self.chunk_size,
+            kernel=self.kernel,
+            fleet=self.fleet,
         )
 
     def override(self, **changes: Any) -> "Settings":
@@ -201,7 +288,10 @@ class Settings:
         applies, re-using the resolver with this instance's values as the
         environment-free baseline.
         """
-        fields = {"cache_dir", "store", "jobs", "intra_jobs", "chunk_size", "kernel"}
+        fields = {
+            "cache_dir", "store", "jobs", "intra_jobs", "chunk_size",
+            "kernel", "fleet",
+        }
         unknown = set(changes) - fields
         if unknown:
             raise ReproError(
@@ -217,8 +307,11 @@ class Settings:
     def describe(self) -> str:
         """One-line human-readable summary (engine/CLI trailers)."""
         cache = self.cache_dir if self.cache_dir is not None else "-"
-        return (
+        line = (
             f"store={self.store} cache_dir={cache} jobs={self.jobs} "
             f"intra_jobs={self.intra_jobs} chunk_size={self.chunk_size} "
             f"kernel={self.kernel}"
         )
+        if self.fleet:
+            line += f" fleet={self.fleet}"
+        return line

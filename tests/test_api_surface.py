@@ -15,8 +15,10 @@ import repro.api
 PUBLIC_SURFACE = (
     "CACHE_DIR_ENV",
     "CHUNK_SIZE_ENV",
+    "ExecutionPlan",
     "ExhibitResult",
     "ExhibitSet",
+    "FLEET_ENV",
     "Finding",
     "INTRA_JOBS_ENV",
     "JOBS_ENV",
@@ -25,8 +27,10 @@ PUBLIC_SURFACE = (
     "Machine",
     "MachineConfig",
     "MachineModel",
+    "RunHandle",
     "RunRequest",
     "RunResult",
+    "RunStatus",
     "SCALE_ALIASES",
     "Session",
     "Settings",

@@ -1,0 +1,218 @@
+"""API-level tests for the PR-8 redesign: ExecutionPlan, RunHandle, fleet.
+
+Covers the frozen :class:`~repro.api.ExecutionPlan` (validation, Settings
+resolution, the warn-but-identical legacy-kwarg shim on
+:class:`~repro.core.runner.ExperimentEngine`), the
+:meth:`Session.submit() <repro.api.Session.submit>` →
+:class:`~repro.api.RunHandle` lifecycle in both execution modes, and the
+headline fleet guarantee: a grid run through spawned fleet workers is
+**byte-identical** to the same grid run in-process.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.api import (
+    ExecutionPlan,
+    FLEET_ENV,
+    RunHandle,
+    RunRequest,
+    RunStatus,
+    Session,
+    Settings,
+)
+from repro.core.runner import ExperimentEngine, ResultStore
+
+
+class TestExecutionPlan:
+    def test_defaults(self):
+        plan = ExecutionPlan()
+        assert (plan.jobs, plan.intra_jobs, plan.chunk_size) == (1, 1, 0)
+        assert plan.kernel == "scalar"
+        assert plan.fleet == 0
+
+    @pytest.mark.parametrize("bad", [
+        {"jobs": 0}, {"intra_jobs": 0}, {"chunk_size": -1},
+        {"kernel": "quantum"}, {"fleet": -1},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ExecutionPlan(**bad)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutionPlan().jobs = 2
+
+    def test_describe_mentions_fleet_only_when_on(self):
+        assert "fleet" not in ExecutionPlan().describe()
+        assert "fleet=3" in ExecutionPlan(fleet=3).describe()
+
+    def test_settings_resolve_once_into_the_plan(self):
+        settings = Settings.resolve(
+            jobs=2, chunk_size=500, kernel="batched", fleet=4, env={})
+        plan = settings.plan()
+        assert plan == ExecutionPlan(
+            jobs=2, intra_jobs=1, chunk_size=500, kernel="batched", fleet=4)
+
+    def test_fleet_env_var(self):
+        assert Settings.resolve(env={FLEET_ENV: "3"}).plan().fleet == 3
+        assert Settings.resolve(env={}).plan().fleet == 0
+        # explicit beats environment, as everywhere in Settings
+        assert Settings.resolve(fleet=1, env={FLEET_ENV: "9"}).plan().fleet == 1
+
+
+class TestLegacyEngineKwargs:
+    """The deprecation shim: old kwargs warn but behave identically."""
+
+    def test_legacy_kwargs_warn_and_match_the_plan_equivalent(self):
+        with pytest.warns(DeprecationWarning, match="ExecutionPlan"):
+            legacy = ExperimentEngine(
+                ResultStore(None), jobs=2, intra_jobs=2, chunk_size=400)
+        modern = ExperimentEngine(
+            ResultStore(None),
+            plan=ExecutionPlan(jobs=2, intra_jobs=2, chunk_size=400))
+        assert legacy.plan == modern.plan
+        assert (legacy.jobs, legacy.intra_jobs, legacy.chunk_size) == (
+            modern.jobs, modern.intra_jobs, modern.chunk_size)
+
+    def test_positional_int_still_means_jobs(self):
+        with pytest.warns(DeprecationWarning):
+            engine = ExperimentEngine(ResultStore(None), 3)
+        assert engine.jobs == 3
+
+    def test_plan_and_legacy_kwargs_together_are_an_error(self):
+        with pytest.raises(TypeError, match="alongside"):
+            ExperimentEngine(
+                ResultStore(None), plan=ExecutionPlan(jobs=2), jobs=2)
+
+    def test_unknown_kwargs_are_an_error(self):
+        with pytest.raises(TypeError, match="workers"):
+            ExperimentEngine(ResultStore(None), workers=4)
+
+    def test_plan_construction_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = ExperimentEngine(
+                ResultStore(None), plan=ExecutionPlan(jobs=2))
+        assert engine.plan.jobs == 2
+
+    def test_legacy_validation_still_raises_value_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="jobs must be at least 1"):
+                ExperimentEngine(ResultStore(None), jobs=0)
+
+
+GRID = RunRequest(workloads=("nasa7",), configs=("reference", "ooo"))
+
+
+class TestRunHandleInProcess:
+    def test_submit_is_lazy_and_result_resolves(self):
+        with Session(env={}) as session:
+            handle = session.submit(GRID)
+            assert isinstance(handle, RunHandle)
+            assert handle.done() is False
+            before = handle.status()
+            assert isinstance(before, RunStatus)
+            assert before.state == "pending"
+            assert (before.total, before.completed) == (2, 0)
+            assert session.engine.simulated == 0  # nothing ran yet
+
+            grid = handle.result()
+            assert session.engine.simulated == 2
+            after = handle.status()
+            assert after.done and after.state == "done"
+            assert after.completed == after.total == 2
+            assert handle.done() is True
+            assert grid.get("nasa7", "ooo").to_dict() is not None
+            assert "done: 2/2 points" in repr(handle)
+
+    def test_run_is_submit_then_result(self):
+        with Session(env={}) as one, Session(env={}) as two:
+            assert (one.run(GRID).to_dict()
+                    == two.submit(GRID).result().to_dict())
+
+    def test_status_counts_warm_cache_points_before_computing(self, tmp_path):
+        with Session(cache_dir=tmp_path, env={}) as warm:
+            warm.run(GRID)
+        with Session(cache_dir=tmp_path, env={}) as session:
+            status = session.submit(GRID).status()
+            assert status.state == "pending"  # cache occupancy, not "done"
+            assert status.completed == status.total == 2
+
+    def test_watch_timeout_is_documented_inapplicable_in_process(self):
+        # in-process execution is synchronous on the calling thread: the
+        # timeout cannot interrupt it and the run simply completes
+        with Session(env={}) as session:
+            status = session.submit(GRID).watch(timeout=0.000001)
+            assert status.done
+
+    def test_failed_compute_is_cached_and_reraised(self):
+        with Session(env={}) as session:
+            handle = session.submit(GRID)
+            boom = RuntimeError("injected engine failure")
+
+            def explode(spec):
+                raise boom
+
+            handle._engine = session.engine
+            original = session.engine.run_spec
+            session.engine.run_spec = explode
+            try:
+                with pytest.raises(RuntimeError, match="injected"):
+                    handle.watch()
+            finally:
+                session.engine.run_spec = original
+            assert handle.status().state == "failed"
+            with pytest.raises(RuntimeError, match="injected"):
+                handle.result()  # the cached error re-raises, never recomputes
+
+    def test_per_request_overrides_run_on_a_transient_engine(self):
+        with Session(env={}) as session:
+            handle = session.submit(
+                RunRequest(workloads=("nasa7",), configs=("reference",),
+                           chunk_size=300))
+            assert handle._engine is not session.engine
+            assert handle._engine.plan.chunk_size == 300
+            assert handle.result().get("nasa7", "reference") is not None
+
+
+class TestFleetParity:
+    def test_fleet_grid_is_byte_identical_to_in_process(self, tmp_path):
+        reference = Session(env={})
+        try:
+            expected = reference.run(GRID).to_dict()
+        finally:
+            reference.close()
+
+        with Session(
+            cache_dir=tmp_path / "fleet", store="object", fleet=1, env={},
+        ) as session:
+            assert session.engine.fleet == 1
+            handle = session.submit(GRID)
+            assert handle._batch is not None and len(handle._batch) == 2
+            status = handle.watch(timeout=300)
+            assert status.done
+            actual = handle.result().to_dict()
+            assert session.engine.fleet_points == 2
+            summary = session.engine_summary()
+            assert summary["fleet"] == {"workers": 1, "dispatched": 2}
+
+        assert json.dumps(actual, sort_keys=True) == json.dumps(
+            expected, sort_keys=True)
+
+    def test_fleet_session_serves_cache_hits_without_workers(self, tmp_path):
+        root = tmp_path / "shared"
+        with Session(cache_dir=root, store="object", env={}) as warm:
+            warm.run(GRID)
+        with Session(
+            cache_dir=root, store="object", fleet=1, env={},
+        ) as session:
+            handle = session.submit(GRID)
+            # everything was cached: nothing to enqueue, no workers spawned
+            assert handle._batch is None
+            grid = handle.result()
+            assert session.engine.fleet_points == 0
+            assert session.engine.disk_hits == 2
+            assert grid.get("nasa7", "ooo") is not None

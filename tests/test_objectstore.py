@@ -88,6 +88,33 @@ class TestObjectStoreQuartet:
         assert store.delete(key) is True
         assert store.get(key) is None
 
+    @given(keys=st.lists(KEYS, min_size=1, max_size=10, unique=True))
+    def test_list_order_is_full_key_lexicographic(self, tmp_path_factory, keys):
+        # the documented backend contract: list() yields keys sorted by the
+        # complete "/"-joined key string (S3 ListObjects order), independent
+        # of directory enumeration order or Path's per-component ordering --
+        # the fleet's claim-race winner depends on every process agreeing
+        store = ObjectStore(tmp_path_factory.mktemp("objstore"))
+        # drop keys that are directory-prefixes of other keys (a filesystem
+        # root can't hold both file "a" and directory "a/")
+        flat = [
+            key for key in keys
+            if not any(
+                other != key and other.startswith(key + "/") for other in keys
+            )
+        ]
+        for key in reversed(flat):  # insertion order != sorted order
+            store.put(key, key.encode())
+        assert list(store.list()) == sorted(set(flat))
+
+    def test_list_orders_by_key_string_not_path_parts(self, tmp_path):
+        # "a-b" < "a/c" as strings ("-" < "/"), but Path ordering compares
+        # components and would put ("a", "c") before ("a-b",)
+        store = ObjectStore(tmp_path)
+        store.put("a/c", b"deep")
+        store.put("a-b", b"flat")
+        assert list(store.list()) == ["a-b", "a/c"]
+
 
 class TestObjectBackendLayout:
     def test_results_live_under_the_results_prefix(self, tmp_path):

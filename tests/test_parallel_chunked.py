@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 from repro.core.config import get_config, machine_config, standard_configs
 from repro.core.machines import machine_names
 from repro.core.runner import ExperimentEngine, ExperimentSpec, ResultStore, set_engine
+from repro.core.settings import ExecutionPlan
 from repro.core.simulator import simulate_trace
 from repro.parallel import ChunkStore, ChunkedSimulation, simulate_trace_chunked
 from repro.parallel.boundary import quiescent, structural_digest, structural_of
@@ -348,7 +349,7 @@ class TestEngineIntegration:
         )
         plain = ExperimentEngine(ResultStore()).run_spec(spec)
         chunked_engine = ExperimentEngine(
-            ResultStore(tmp_path), intra_jobs=1, chunk_size=150)
+            ResultStore(tmp_path), plan=ExecutionPlan(intra_jobs=1, chunk_size=150))
         chunked = chunked_engine.run_spec(spec)
         for point in spec.points:
             assert chunked[point].stats.to_dict() == plain[point].stats.to_dict()
@@ -361,16 +362,16 @@ class TestEngineIntegration:
             # chunk cache with a fresh memory-only result store that shares
             # only the chunk store
             fresh = ExperimentEngine(
-                ResultStore(), intra_jobs=1, chunk_size=150)
+                ResultStore(), plan=ExecutionPlan(intra_jobs=1, chunk_size=150))
             fresh.chunk_store = chunked_engine.chunk_store
             fresh.run_spec(spec)
             assert fresh.chunk_cache_hits > 0
 
     def test_engine_rejects_bad_values(self):
         with pytest.raises(ValueError):
-            ExperimentEngine(ResultStore(), intra_jobs=0)
+            ExperimentEngine(ResultStore(), plan=ExecutionPlan(intra_jobs=0))
         with pytest.raises(ValueError):
-            ExperimentEngine(ResultStore(), chunk_size=-1)
+            ExperimentEngine(ResultStore(), plan=ExecutionPlan(chunk_size=-1))
 
 
 class TestSimulateTraceChunked:

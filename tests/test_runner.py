@@ -19,6 +19,7 @@ from repro.common.params import (
 from repro.common.stats import SimStats
 from repro.core.config import ooo_config, reference_config
 from repro.core.results import SimulationResult
+from repro.core.settings import ExecutionPlan
 from repro.core.runner import (
     ExperimentEngine,
     ExperimentPoint,
@@ -209,8 +210,9 @@ class TestEngine:
         spec = ExperimentSpec.grid(
             "par", ["trfd", "bdna"],
             [reference_config(), ooo_config(), ooo_config(phys_vregs=32)], "tiny")
-        serial = ExperimentEngine(jobs=1).run_spec(spec)
-        parallel = ExperimentEngine(ResultStore(tmp_path), jobs=2).run_spec(spec)
+        serial = ExperimentEngine(plan=ExecutionPlan(jobs=1)).run_spec(spec)
+        parallel = ExperimentEngine(
+            ResultStore(tmp_path), plan=ExecutionPlan(jobs=2)).run_spec(spec)
         assert set(serial) == set(parallel)
         for point in serial:
             assert serial[point].cycles == parallel[point].cycles
@@ -297,7 +299,7 @@ class TestCLI:
             raise BrokenProcessPool("workers died")
 
         monkeypatch.setattr(ExperimentEngine, "_execute_parallel", explode)
-        engine = ExperimentEngine(jobs=4)
+        engine = ExperimentEngine(plan=ExecutionPlan(jobs=4))
         spec = ExperimentSpec.grid(
             "fallback", ["trfd"], [ooo_config(), reference_config()], "tiny")
         results = engine.run_spec(spec)

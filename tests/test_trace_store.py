@@ -5,6 +5,7 @@ import pickle
 import pytest
 
 from repro.core.config import ooo_config, reference_config
+from repro.core.settings import ExecutionPlan
 from repro.core.runner import (
     TRACE_SUBDIR,
     ExperimentEngine,
@@ -154,7 +155,7 @@ class TestEngineTraceMemoisation:
         # The acceptance criterion: a cold parallel sweep pre-warms the
         # trace store in the parent, so each (workload, scale) is compiled
         # at most once no matter how many workers or grid points need it.
-        engine = ExperimentEngine(ResultStore(tmp_path), jobs=jobs)
+        engine = ExperimentEngine(ResultStore(tmp_path), plan=ExecutionPlan(jobs=jobs))
         spec = ExperimentSpec.grid(
             "cold", ["trfd", "bdna"],
             [reference_config(), ooo_config(), ooo_config(phys_vregs=32)], "tiny")
@@ -165,7 +166,7 @@ class TestEngineTraceMemoisation:
         assert engine.trace_store.contains("trfd", "tiny")
         assert engine.trace_store.contains("bdna", "tiny")
         # a second engine (fresh process, in spirit) loads, never compiles
-        warm = ExperimentEngine(ResultStore(tmp_path), jobs=jobs)
+        warm = ExperimentEngine(ResultStore(tmp_path), plan=ExecutionPlan(jobs=jobs))
         warm.run_spec(spec)
         assert warm.trace_store.generated == 0
 
@@ -195,8 +196,10 @@ class TestEngineTraceMemoisation:
     def test_parallel_results_match_serial_with_trace_store(self, tmp_path):
         spec = ExperimentSpec.grid(
             "par", ["trfd"], [reference_config(), ooo_config()], "tiny")
-        serial = ExperimentEngine(ResultStore(tmp_path / "a"), jobs=1).run_spec(spec)
-        parallel = ExperimentEngine(ResultStore(tmp_path / "b"), jobs=2).run_spec(spec)
+        serial = ExperimentEngine(
+            ResultStore(tmp_path / "a"), plan=ExecutionPlan(jobs=1)).run_spec(spec)
+        parallel = ExperimentEngine(
+            ResultStore(tmp_path / "b"), plan=ExecutionPlan(jobs=2)).run_spec(spec)
         assert set(serial) == set(parallel)
         for point in serial:
             assert serial[point].stats.to_dict() == parallel[point].stats.to_dict()
