@@ -24,10 +24,13 @@ here, with no environment variables and no process-global state:
   the timing-model protocol and registry: new machine models plug into
   single-point simulation, sweep grids and chunked execution without
   touching any driver code;
-* :func:`run_checks` / :class:`Finding` — the static component-contract
-  and determinism analyzer behind ``repro check`` (:mod:`repro.checks`),
-  for validating first- and third-party machine components without
-  running them.
+* :func:`run_checks` / :class:`Finding` — the static analyzer behind
+  ``repro check`` (:mod:`repro.checks`), for validating first- and
+  third-party machine components without running them;
+* :class:`CheckPass` / :func:`register_pass` — the analyzer's pass
+  registry, mirroring :func:`register_machine`: third-party rule
+  families plug into ``repro check``, :func:`run_checks` and CI without
+  touching the runner.
 
 Quickstart::
 
@@ -80,11 +83,12 @@ from repro.api.settings import (
     ExecutionPlan,
     Settings,
 )
-from repro.checks import Finding, run_checks
+from repro.checks import CheckPass, Finding, register_pass, run_checks
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CHUNK_SIZE_ENV",
+    "CheckPass",
     "ExecutionPlan",
     "ExhibitResult",
     "ExhibitSet",
@@ -111,6 +115,7 @@ __all__ = [
     "machine_names",
     "model_for_params",
     "register_machine",
+    "register_pass",
     "resolve_scale",
     "run_checks",
 ]

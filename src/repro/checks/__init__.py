@@ -1,34 +1,47 @@
-"""Static analysis for the machine-component contract (``repro check``).
+"""Static analysis for the simulation stack (``repro check``).
 
 The chunked simulator's bit-exactness guarantee (chunked == monolithic,
-see :mod:`repro.parallel`) rests on an invariant no test can prove in
-general: every :class:`~repro.machine.component.MachineComponent` must
-cover *all* of its mutable state in ``snapshot``/``restore``/``reset``,
-and the digest/structural projections must be pure.  A forgotten
-attribute breaks chunk stitching silently — a workload only catches it
-if the drifted field happens to matter at a cut point.
+see :mod:`repro.parallel`) — and, since the batched kernel and the
+fleet, the scalar == batched and local == distributed guarantees — rest
+on invariants no test can prove in general.  This package enforces them
+statically: it parses the simulation modules with :mod:`ast` (never
+importing or executing them) and applies a registry of pluggable rule
+families.
 
-This package enforces the invariant statically: it parses the simulation
-modules with :mod:`ast` (never importing or executing them) and applies
-four rule families:
+Rule families are :class:`~repro.checks.model.CheckPass` instances on a
+registry mirroring ``repro.api.register_machine``: the built-ins below
+register themselves on import, and third-party passes plug in through
+:func:`register_pass` with their own exit-code bit — ``repro check``,
+:func:`run_checks`, the pytest gate and CI pick them up unchanged.
 
-``state-coverage``
+``state-coverage`` (bit 1)
     every attribute a component mutates outside
     ``__init__``/``snapshot``/``restore``/``reset`` must be covered by
     all three of ``snapshot``, ``restore`` and ``reset``;
-``snapshot-symmetry``
+``snapshot-symmetry`` (bit 2)
     keys written by ``snapshot`` must be read by ``restore`` and vice
     versa (checked when both sides use literal keys);
-``digest-purity``
+``digest-purity`` (bit 4)
     ``snapshot``/``digest``/``structural``/``quiescent`` must not mutate
     ``self`` (directly, through mutating method calls, or by calling
     ``restore``/``reset``/``absorb``);
-``determinism``
+``determinism`` (bit 8)
     no iteration over sets, ``dict.popitem``, ``id()``, builtin
     ``hash()``, ``random``/``time``/``os.environ``, or ``sum()`` over an
-    unordered collection in simulation-path code.
+    unordered collection in simulation-path code;
+``malformed-suppression`` (bit 16)
+    suppression comments must name a known rule and give a reason;
+``kernel-parity`` (bit 32)
+    each machine's scalar ``DISPATCH`` table must be exactly covered by
+    its batched stepper's segment branches (:mod:`repro.checks.parity`);
+``ambient-effects`` (bit 64)
+    no wall-clock/randomness/identity/environment/filesystem access
+    reachable from simulation entry points (:mod:`repro.checks.effects`);
+``fleet-protocol`` (bit 128)
+    queue keys through ``LeaseQueue`` helpers, clock reads through the
+    injected clock, thread state declared (:mod:`repro.checks.fleetlint`).
 
-Genuinely exempt state is suppressed inline — never via a baseline
+Genuinely exempt findings are suppressed inline — never via a baseline
 file — with a justified comment on the flagged line::
 
     self._scratch = []  # check: ignore[state-coverage] derived cache, rebuilt on demand
@@ -40,14 +53,25 @@ gate that keeps the repository itself clean.
 
 from __future__ import annotations
 
-from repro.checks.model import Finding, RULES, exit_code_for
-from repro.checks.runner import DEFAULT_PATHS, main, run_checks
+from repro.checks.model import (
+    CheckPass,
+    Finding,
+    RULES,
+    exit_code_for,
+    register_pass,
+    registered_passes,
+)
+from repro.checks.runner import DEFAULT_PATHS, USAGE_ERROR, main, run_checks
 
 __all__ = [
+    "CheckPass",
     "DEFAULT_PATHS",
     "Finding",
     "RULES",
+    "USAGE_ERROR",
     "exit_code_for",
     "main",
+    "register_pass",
+    "registered_passes",
     "run_checks",
 ]

@@ -153,6 +153,17 @@ def load_module(path: Path, root: Path | None = None) -> SourceModule:
     )
 
 
+def is_fleet_module(module: SourceModule) -> bool:
+    """True for files of the fleet package (any path part naming 'fleet').
+
+    The fleet's coordination code *legitimately* reads wall clocks and
+    process identity (leases expire in wall time, workers self-identify by
+    pid); the determinism pass therefore skips these modules and the
+    fleet-protocol pass applies its own discipline instead.
+    """
+    return any("fleet" in part for part in Path(module.display).parts)
+
+
 def collect_files(paths: Iterable[Path]) -> list[Path]:
     """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
     seen: dict[Path, None] = {}

@@ -1,34 +1,32 @@
-"""Finding and rule model shared by the check rules, runner and reports.
+"""Finding, rule and pass model shared by the check passes, runner and reports.
 
 Each rule family owns one bit of the process exit code, so CI (and
 scripts) can tell *which* families fired from the status alone:
 ``exit 3`` means state-coverage plus snapshot-symmetry findings, and
-``exit 0`` means the analyzed tree is clean.
+``exit 0`` means the analyzed tree is clean.  (Usage errors — unreadable
+paths, syntax errors — exit 255, outside the rule-bit space.)
+
+Rule families are **pluggable**: each one is a :class:`CheckPass`
+registered through :func:`register_pass`, mirroring how machine models
+plug into :func:`repro.api.register_machine`.  The built-in passes
+register themselves when :mod:`repro.checks` is imported; third-party
+code registers its own the same way and ``repro check`` picks it up
+with no runner changes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
 
-#: rule id -> (exit-code bit, one-line description)
-RULES: Mapping[str, tuple[int, str]] = {
-    "state-coverage": (
-        1,
-        "mutable component state must be covered by snapshot/restore/reset",
-    ),
-    "snapshot-symmetry": (
-        2,
-        "snapshot keys and restore reads must mirror each other",
-    ),
-    "digest-purity": (
-        4,
-        "snapshot/digest/structural/quiescent must not mutate the component",
-    ),
-    "determinism": (
-        8,
-        "simulation code must not depend on unordered iteration or ambient state",
-    ),
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.checks.astutil import SourceModule
+    from repro.checks.contract import Project
+
+#: rule id -> (exit-code bit, one-line description).  Live registry view:
+#: seeded with the runner-owned suppression-hygiene rule, extended by
+#: every :func:`register_pass` call.
+RULES: dict[str, tuple[int, str]] = {
     "malformed-suppression": (
         16,
         "check suppression comments must name a known rule and give a reason",
@@ -85,3 +83,93 @@ def exit_code_for(findings: Iterable[Finding]) -> int:
         bit, _ = RULES.get(finding.rule, (0, ""))
         code |= bit
     return code
+
+
+# ---------------------------------------------------------------------------
+# the pass registry
+# ---------------------------------------------------------------------------
+
+
+def _every_module(module: "SourceModule") -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class CheckPass:
+    """One pluggable rule family: an analysis plus its exit-code identity.
+
+    ``scope`` selects the runner protocol:
+
+    * ``"module"`` — ``run`` is called once per analyzed file with a
+      :class:`~repro.checks.astutil.SourceModule`; module passes are
+      embarrassingly parallel and the runner fans them out per file;
+    * ``"project"`` — ``run`` is called once with the whole
+      :class:`~repro.checks.contract.Project`, for cross-file analyses
+      (class hierarchies, machine/stepper pairings).
+
+    ``wants`` narrows a module pass to the files it understands (e.g.
+    the fleet-protocol lints only look at fleet modules); project passes
+    always see every module and scope themselves.
+
+    The eight single-bit exit codes are fully allocated to the built-in
+    families; a third-party pass sets ``shares_bit=True`` to piggyback
+    on the allocated bit closest in spirit (the JSON report still
+    carries the exact rule id per finding).
+    """
+
+    rule: str
+    bit: int
+    summary: str
+    scope: str
+    run: Callable[..., list[Finding]]
+    wants: Callable[["SourceModule"], bool] = field(default=_every_module)
+    shares_bit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("module", "project"):
+            raise ValueError(f"unknown pass scope {self.scope!r}")
+
+
+_PASSES: dict[str, CheckPass] = {}
+
+
+def register_pass(check_pass: CheckPass) -> CheckPass:
+    """Add a rule family to the registry (idempotent per rule id).
+
+    The pass's exit bit must be unique across every registered family
+    (and must not collide with the runner-owned ``malformed-suppression``
+    bit): the bit *is* the family's identity in the process exit code.
+    Passes declaring ``shares_bit=True`` opt out of uniqueness and
+    piggyback on an already-allocated bit.  Returns the pass, so it can
+    be used as a definition-site one-liner.
+    """
+    existing = _PASSES.get(check_pass.rule)
+    if existing is not None:
+        if existing == check_pass:
+            return check_pass
+        raise ValueError(f"check pass {check_pass.rule!r} already registered")
+    if check_pass.bit <= 0 or check_pass.bit & (check_pass.bit - 1):
+        raise ValueError(
+            f"pass {check_pass.rule!r} bit {check_pass.bit} is not a single bit"
+        )
+    if check_pass.bit > 128:
+        raise ValueError(
+            f"pass {check_pass.rule!r} bit {check_pass.bit} exceeds the "
+            "8-bit process exit code (255 is reserved for usage errors)"
+        )
+    if not check_pass.shares_bit:
+        for rule, (bit, _) in RULES.items():
+            if bit == check_pass.bit:
+                raise ValueError(
+                    f"pass {check_pass.rule!r} bit {check_pass.bit} collides "
+                    f"with {rule!r} (set shares_bit=True to piggyback on an "
+                    "allocated bit)"
+                )
+    _PASSES[check_pass.rule] = check_pass
+    RULES[check_pass.rule] = (check_pass.bit, check_pass.summary)
+    return check_pass
+
+
+def registered_passes() -> tuple[CheckPass, ...]:
+    """Every registered pass, in ascending exit-bit order."""
+    return tuple(sorted(_PASSES.values(), key=lambda p: p.bit))

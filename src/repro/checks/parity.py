@@ -1,0 +1,482 @@
+"""The kernel-parity pass: scalar ``DISPATCH`` vs batched segment loops.
+
+Every registered machine has two execution kernels that must stay
+bit-identical: the scalar kernel dispatches each instruction through the
+class's ``DISPATCH`` table (``InstrKind -> handler method``), and the
+batched kernel steps a lowered trace through hand-fused per-kind segment
+loops (``for start, stop, kc in lowered.segments: if kc == K_VECTOR_ALU:
+…``).  The runtime equivalence tests only cover the kinds the workloads
+happen to contain — a *new* ``InstrKind`` given a dedicated scalar
+handler but no batched branch silently falls into the batched loop's
+``else`` (default-handler) arm and diverges.
+
+This pass closes that hole statically.  For every
+``register_stepper(MachineClass, stepper_fn)`` call it can see, it
+
+* resolves the machine class's ``DISPATCH`` literal and
+  ``DEFAULT_HANDLER`` along the class hierarchy,
+* walks the stepper function (and every same-module function it calls)
+  for segment loops, collecting the ``kc == K_<KIND>`` comparisons and
+  whether the branch chain ends in a default ``else`` arm,
+* and requires exact coverage: each explicitly dispatched kind needs an
+  explicit batched branch, each explicit batched branch needs a
+  ``DISPATCH`` entry, and default-handled kinds need the ``else`` arm.
+
+``K_<KIND>`` code names are resolved from their defining assignments
+(``K_VECTOR_ALU = KIND_INDEX[InstrKind.VECTOR_ALU]``) when the defining
+module is analyzed, falling back to the naming convention otherwise, and
+the ``InstrKind`` member set is read from the enum's class body.  All of
+it is :mod:`ast` analysis — nothing is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.checks.contract import ClassModel, Project
+from repro.checks.model import CheckPass, Finding, register_pass
+
+_PARITY_HINT = (
+    "add the matching 'kc == K_<KIND>' branch to the batched stepper (or "
+    "the DISPATCH entry to the scalar kernel) so both kernels route the "
+    "kind identically"
+)
+
+
+@dataclass
+class _Dispatch:
+    """A machine class's statically resolved scalar dispatch table."""
+
+    owner: ClassModel
+    line: int
+    handlers: dict[str, str]  # InstrKind member -> handler method name
+    default_handler: str | None
+
+
+@dataclass
+class _Coverage:
+    """What a stepper's segment loops explicitly branch on."""
+
+    kinds: dict[str, int]  # InstrKind member -> first comparison line
+    has_default: bool
+    loop_line: int | None
+    unresolved: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class Binding:
+    """One ``register_stepper(MachineClass, stepper_fn)`` pairing."""
+
+    machine: str
+    stepper: str
+    stepper_file: str
+    line: int
+    dispatch: _Dispatch | None
+    coverage: _Coverage
+
+
+def _instr_kind_members(project: Project) -> set[str]:
+    """``InstrKind`` member names, from the enum's class body when visible."""
+    members: set[str] = set()
+    for model in project.by_name.get("InstrKind", []):
+        for stmt in model.node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        members.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None and isinstance(stmt.target, ast.Name):
+                    members.add(stmt.target.id)
+    return members
+
+
+def _kind_of_subscript(node: ast.expr) -> str | None:
+    """``KIND_INDEX[InstrKind.X]`` -> ``"X"``."""
+    if not (isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name)):
+        return None
+    if node.value.id != "KIND_INDEX":
+        return None
+    index = node.slice
+    if (
+        isinstance(index, ast.Attribute)
+        and isinstance(index.value, ast.Name)
+        and index.value.id == "InstrKind"
+    ):
+        return index.attr
+    return None
+
+
+def _kind_codes(project: Project) -> dict[str, str]:
+    """Code-variable name -> InstrKind member, from defining assignments."""
+    codes: dict[str, str] = {}
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            member = _kind_of_subscript(node.value)
+            if member is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    codes.setdefault(target.id, member)
+    return codes
+
+
+def _resolve_code(name: str, codes: dict[str, str]) -> str | None:
+    if name in codes:
+        return codes[name]
+    if name.startswith("K_") and len(name) > 2:
+        return name[2:]
+    return None
+
+
+def _dispatch_for(project: Project, model: ClassModel) -> _Dispatch | None:
+    """The first ``DISPATCH`` literal along the MRO, or ``None``."""
+    default_handler: str | None = None
+    for entry in project.mro(model):
+        for stmt in entry.node.body:
+            value, name = None, None
+            if isinstance(stmt, ast.Assign):
+                names = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+                if "DEFAULT_HANDLER" in names:
+                    name = "DEFAULT_HANDLER"
+                    value = stmt.value
+                elif "DISPATCH" in names:
+                    name = "DISPATCH"
+                    value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if stmt.target.id in ("DISPATCH", "DEFAULT_HANDLER"):
+                    name = stmt.target.id
+                    value = stmt.value
+            if value is None:
+                continue
+            if name == "DEFAULT_HANDLER" and default_handler is None:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    default_handler = value.value
+                continue
+            if name != "DISPATCH":
+                continue
+            handlers = _dispatch_literal(value)
+            if handlers is None:
+                return _Dispatch(
+                    owner=entry, line=stmt.lineno, handlers={},
+                    default_handler=None,
+                )
+            # keep scanning the rest of this class body for DEFAULT_HANDLER
+            for other in entry.node.body:
+                if isinstance(other, ast.Assign):
+                    names = [
+                        t.id for t in other.targets if isinstance(t, ast.Name)
+                    ]
+                    if "DEFAULT_HANDLER" in names and isinstance(
+                        other.value, ast.Constant
+                    ) and isinstance(other.value.value, str):
+                        default_handler = default_handler or other.value.value
+            return _Dispatch(
+                owner=entry,
+                line=stmt.lineno,
+                handlers=handlers,
+                default_handler=default_handler,
+            )
+    return None
+
+
+def _dispatch_literal(value: ast.expr) -> dict[str, str] | None:
+    """``{InstrKind.X: "_handler", …}`` -> member->handler, else ``None``."""
+    if not isinstance(value, ast.Dict):
+        return None
+    handlers: dict[str, str] = {}
+    for key, entry in zip(value.keys, value.values):
+        if key is None:  # ** merge: not a literal table
+            return None
+        if not (
+            isinstance(key, ast.Attribute)
+            and isinstance(key.value, ast.Name)
+            and key.value.id == "InstrKind"
+        ):
+            return None
+        if not (isinstance(entry, ast.Constant) and isinstance(entry.value, str)):
+            return None
+        handlers[key.attr] = entry.value
+    return handlers
+
+
+def _module_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _iter_register_stepper(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "register_stepper":
+            yield node
+
+
+def _segment_loops(fn: ast.FunctionDef) -> Iterator[tuple[ast.For, str]]:
+    """Every ``for …, kc in <x>.segments:`` loop with its kind-code name."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.For):
+            continue
+        iterable = node.iter
+        if not (
+            isinstance(iterable, ast.Attribute) and iterable.attr == "segments"
+        ):
+            continue
+        target = node.target
+        if (
+            isinstance(target, ast.Tuple)
+            and len(target.elts) >= 3
+            and isinstance(target.elts[-1], ast.Name)
+        ):
+            yield node, target.elts[-1].id
+
+
+def _chain_has_default(loop: ast.For, kc_name: str) -> bool:
+    """True when a branch chain testing ``kc`` terminates in a plain else."""
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.If):
+            continue
+        if not _mentions(node.test, kc_name):
+            continue
+        current = node
+        while True:
+            orelse = current.orelse
+            if not orelse:
+                break
+            if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+                current = orelse[0]
+                continue
+            return True
+    return False
+
+
+def _mentions(node: ast.expr, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+    )
+
+
+def _coverage_of(
+    entry: ast.FunctionDef,
+    functions: dict[str, ast.FunctionDef],
+    codes: dict[str, str],
+) -> _Coverage:
+    coverage = _Coverage(kinds={}, has_default=False, loop_line=None)
+    visited: set[str] = set()
+    queue = [entry.name]
+    while queue:
+        name = queue.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        fn = functions.get(name)
+        if fn is None:
+            continue
+        for loop, kc_name in _segment_loops(fn):
+            if coverage.loop_line is None:
+                coverage.loop_line = loop.lineno
+            if _chain_has_default(loop, kc_name):
+                coverage.has_default = True
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if len(node.ops) != 1 or not isinstance(node.ops[0], ast.Eq):
+                    continue
+                sides = (node.left, node.comparators[0])
+                names = [s.id for s in sides if isinstance(s, ast.Name)]
+                if len(names) != 2 or kc_name not in names:
+                    continue
+                other = names[0] if names[1] == kc_name else names[1]
+                member = _resolve_code(other, codes)
+                if member is None:
+                    coverage.unresolved.setdefault(other, node.lineno)
+                else:
+                    coverage.kinds.setdefault(member, node.lineno)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                queue.append(node.func.id)
+    return coverage
+
+
+def stepper_bindings(project: Project) -> list[Binding]:
+    """Every statically visible machine/stepper pairing in the project."""
+    codes = _kind_codes(project)
+    bindings: list[Binding] = []
+    for module in project.modules:
+        functions = _module_functions(module.tree)
+        for call in _iter_register_stepper(module.tree):
+            if len(call.args) < 2:
+                continue
+            cls_arg, fn_arg = call.args[0], call.args[1]
+            if not isinstance(cls_arg, ast.Name):
+                continue
+            fn_name = (
+                fn_arg.id
+                if isinstance(fn_arg, ast.Name)
+                else fn_arg.name if isinstance(fn_arg, ast.FunctionDef) else None
+            )
+            if fn_name is None or fn_name not in functions:
+                continue
+            model = project.resolve(cls_arg.id, module)
+            dispatch = (
+                _dispatch_for(project, model) if model is not None else None
+            )
+            coverage = _coverage_of(functions[fn_name], functions, codes)
+            bindings.append(
+                Binding(
+                    machine=cls_arg.id,
+                    stepper=fn_name,
+                    stepper_file=module.display,
+                    line=call.lineno,
+                    dispatch=dispatch,
+                    coverage=coverage,
+                )
+            )
+    return bindings
+
+
+def check_kernel_parity(project: Project) -> list[Finding]:
+    """Prove each scalar DISPATCH table is covered by its batched stepper."""
+    findings: list[Finding] = []
+    members = _instr_kind_members(project)
+    for binding in stepper_bindings(project):
+        dispatch = binding.dispatch
+        if dispatch is None:
+            findings.append(
+                Finding(
+                    file=binding.stepper_file,
+                    line=binding.line,
+                    rule="kernel-parity",
+                    message=(
+                        f"stepper '{binding.stepper}' is registered for "
+                        f"'{binding.machine}' but no DISPATCH table is "
+                        "statically visible for that class"
+                    ),
+                    hint=(
+                        "analyze the module defining the machine class "
+                        "together with its stepper"
+                    ),
+                )
+            )
+            continue
+        if not dispatch.handlers:
+            findings.append(
+                Finding(
+                    file=dispatch.owner.file,
+                    line=dispatch.line,
+                    rule="kernel-parity",
+                    message=(
+                        f"{binding.machine}: DISPATCH is not a literal "
+                        "InstrKind->handler dict, so parity with stepper "
+                        f"'{binding.stepper}' cannot be proven"
+                    ),
+                    hint=_PARITY_HINT,
+                )
+            )
+            continue
+        coverage = binding.coverage
+        for member in sorted(dispatch.handlers):
+            if member not in coverage.kinds:
+                findings.append(
+                    Finding(
+                        file=dispatch.owner.file,
+                        line=dispatch.line,
+                        rule="kernel-parity",
+                        message=(
+                            f"{binding.machine}: DISPATCH routes "
+                            f"InstrKind.{member} to "
+                            f"'{dispatch.handlers[member]}' but batched "
+                            f"stepper '{binding.stepper}' "
+                            f"({binding.stepper_file}) has no "
+                            f"'kc == K_{member}' segment branch"
+                        ),
+                        hint=_PARITY_HINT,
+                    )
+                )
+        for member in sorted(coverage.kinds):
+            if member not in dispatch.handlers:
+                findings.append(
+                    Finding(
+                        file=binding.stepper_file,
+                        line=coverage.kinds[member],
+                        rule="kernel-parity",
+                        message=(
+                            f"stepper '{binding.stepper}' special-cases "
+                            f"K_{member} but {binding.machine}'s DISPATCH "
+                            "has no entry for it (the scalar kernel routes "
+                            "it through "
+                            f"'{dispatch.default_handler or 'DEFAULT_HANDLER'}')"
+                        ),
+                        hint=_PARITY_HINT,
+                    )
+                )
+        known = members or (set(dispatch.handlers) | set(coverage.kinds))
+        default_kinds = sorted(known - set(dispatch.handlers))
+        if default_kinds and not coverage.has_default:
+            findings.append(
+                Finding(
+                    file=binding.stepper_file,
+                    line=coverage.loop_line or binding.line,
+                    rule="kernel-parity",
+                    message=(
+                        f"stepper '{binding.stepper}' has no default else "
+                        "branch, but "
+                        f"{', '.join('InstrKind.' + k for k in default_kinds)}"
+                        f" fall to {binding.machine}'s DEFAULT_HANDLER "
+                        f"'{dispatch.default_handler or '?'}' in the scalar "
+                        "kernel"
+                    ),
+                    hint=_PARITY_HINT,
+                )
+            )
+        for code_name, line in sorted(coverage.unresolved.items()):
+            findings.append(
+                Finding(
+                    file=binding.stepper_file,
+                    line=line,
+                    rule="kernel-parity",
+                    message=(
+                        f"stepper '{binding.stepper}' compares the segment "
+                        f"kind against '{code_name}', which does not resolve "
+                        "to an InstrKind member"
+                    ),
+                    hint=(
+                        "define the code as K_<KIND> = "
+                        "KIND_INDEX[InstrKind.<KIND>] so the checker can "
+                        "match it against DISPATCH"
+                    ),
+                )
+            )
+    return findings
+
+
+register_pass(
+    CheckPass(
+        rule="kernel-parity",
+        bit=32,
+        summary=(
+            "each machine's scalar DISPATCH table must be exactly covered "
+            "by its batched stepper's segment branches"
+        ),
+        scope="project",
+        run=check_kernel_parity,
+    )
+)
+
+
+__all__ = ["Binding", "check_kernel_parity", "stepper_bindings"]

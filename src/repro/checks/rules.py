@@ -1,10 +1,16 @@
-"""The four rule families enforced by ``repro check``.
+"""The component-contract rule families enforced by ``repro check``.
 
 Every rule is a pure function from the parsed :class:`Project` (or a
 single :class:`SourceModule`) to a list of :class:`Finding`\\ s.  Rules
 report findings on the line a suppression comment must sit on; the
 runner filters suppressed findings afterwards so suppression behaviour
 is uniform across rules.
+
+Each family is wrapped in a :class:`~repro.checks.model.CheckPass` and
+registered at the bottom of this module; the kernel-parity,
+ambient-effects and fleet-protocol families live in their own modules
+(:mod:`repro.checks.parity`, :mod:`repro.checks.effects`,
+:mod:`repro.checks.fleetlint`) on the same registry.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Iterator
 
 from repro.checks.astutil import (
     SourceModule,
+    is_fleet_module,
     is_self_attr,
     iter_self_calls,
     iter_self_mutations,
@@ -28,7 +35,7 @@ from repro.checks.contract import (
     coverage_mentions,
     iter_components,
 )
-from repro.checks.model import Finding
+from repro.checks.model import CheckPass, Finding, register_pass
 
 # ---------------------------------------------------------------------------
 # state-coverage
@@ -493,6 +500,54 @@ def _set_annotated_attrs(tree: ast.Module) -> set[str]:
         elif isinstance(target, ast.Name):
             attrs.add(target.id)
     return attrs
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+register_pass(
+    CheckPass(
+        rule="state-coverage",
+        bit=1,
+        summary="mutable component state must be covered by snapshot/restore/reset",
+        scope="project",
+        run=check_state_coverage,
+    )
+)
+register_pass(
+    CheckPass(
+        rule="snapshot-symmetry",
+        bit=2,
+        summary="snapshot keys and restore reads must mirror each other",
+        scope="project",
+        run=check_snapshot_symmetry,
+    )
+)
+register_pass(
+    CheckPass(
+        rule="digest-purity",
+        bit=4,
+        summary="snapshot/digest/structural/quiescent must not mutate the component",
+        scope="project",
+        run=check_digest_purity,
+    )
+)
+register_pass(
+    CheckPass(
+        rule="determinism",
+        bit=8,
+        summary=(
+            "simulation code must not depend on unordered iteration or "
+            "ambient state"
+        ),
+        scope="module",
+        run=check_determinism,
+        # the fleet coordinates over wall clocks and process ids by design;
+        # its own protocol rules live in the fleet-protocol pass instead
+        wants=lambda module: not is_fleet_module(module),
+    )
+)
 
 
 __all__ = [

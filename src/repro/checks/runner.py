@@ -1,39 +1,60 @@
-"""Orchestration: run every rule over a path set and report the result.
+"""Orchestration: run every registered pass over a path set and report.
 
 :func:`run_checks` is the library API (used by the pytest gate and
 ``repro.api``); :func:`main` backs both ``repro check`` and
 ``python -m repro.checks``.
+
+The runner is pass-agnostic: it parses the target files (in parallel —
+parsing and module-scope analysis are per-file and embarrassingly so),
+hands each module-scope :class:`~repro.checks.model.CheckPass` the files
+it ``wants``, hands each project-scope pass the whole cross-file
+:class:`~repro.checks.contract.Project`, filters inline suppressions
+uniformly, and ORs the exit bits of the families that fired.  New rule
+families plug in through :func:`~repro.checks.model.register_pass`
+without touching this module.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Sequence
 
-from repro.checks.astutil import collect_files, load_module
+# importing the pass modules registers the built-in rule families
+import repro.checks.effects  # noqa: F401  (registration side effect)
+import repro.checks.fleetlint  # noqa: F401  (registration side effect)
+import repro.checks.parity  # noqa: F401  (registration side effect)
+import repro.checks.rules  # noqa: F401  (registration side effect)
+from repro.checks.astutil import SourceModule, collect_files, load_module
 from repro.checks.contract import Project
-from repro.checks.model import Finding, exit_code_for
-from repro.checks.report import render_json, render_text
-from repro.checks.rules import (
-    check_determinism,
-    check_digest_purity,
-    check_snapshot_symmetry,
-    check_state_coverage,
+from repro.checks.model import (
+    CheckPass,
+    Finding,
+    exit_code_for,
+    registered_passes,
 )
+from repro.checks.report import render_json, render_text
 
-#: packages the component contract and determinism rules protect by default:
-#: the machine kernel, both timing models, their shared libraries, the
-#: memory system and the chunked simulator that relies on all of them
+#: packages the check passes protect by default: the machine kernel, both
+#: timing models, their shared libraries, the ISA, the memory system, the
+#: chunked simulator and the fleet coordination layer
 DEFAULT_PATHS: tuple[str, ...] = (
     "src/repro/machine",
     "src/repro/ooo",
     "src/repro/refsim",
     "src/repro/common",
+    "src/repro/isa",
     "src/repro/memory",
     "src/repro/parallel",
+    "src/repro/fleet",
 )
+
+#: exit code for usage errors (bad paths, syntax errors) — deliberately
+#: outside the rule-bit space [1, 255), which the families own
+USAGE_ERROR = 255
 
 
 def _default_paths(root: Path) -> list[Path]:
@@ -46,19 +67,38 @@ def _default_paths(root: Path) -> list[Path]:
     return present
 
 
+def _default_jobs() -> int:
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _module_pass_findings(
+    passes: Sequence[CheckPass], module: SourceModule
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for check_pass in passes:
+        if check_pass.scope == "module" and check_pass.wants(module):
+            findings.extend(check_pass.run(module))
+    return findings
+
+
 def run_checks(
     paths: Sequence[str | Path] | None = None,
     *,
     root: str | Path | None = None,
+    passes: Sequence[CheckPass] | None = None,
+    jobs: int | None = None,
 ) -> list[Finding]:
-    """Run all rule families over ``paths`` and return unsuppressed findings.
+    """Run every registered pass over ``paths``; return unsuppressed findings.
 
     ``paths`` may mix files and directories; when omitted, the default
     simulation-path packages (:data:`DEFAULT_PATHS`) are analyzed
     relative to ``root`` (default: the current working directory).
-    Findings carry paths relative to ``root`` when possible.  Inline
-    ``# check: ignore[rule] reason`` comments on a finding's line
-    suppress it; malformed suppressions are themselves findings.
+    ``passes`` overrides the registry (useful for running one family in
+    isolation); ``jobs`` bounds the per-file analysis parallelism
+    (default: up to 8 worker threads).  Findings carry paths relative to
+    ``root`` when possible.  Inline ``# check: ignore[rule] reason``
+    comments on a finding's line suppress it; malformed suppressions are
+    themselves findings.
     """
     root_path = Path(root) if root is not None else Path.cwd()
     if paths is None:
@@ -66,15 +106,29 @@ def run_checks(
     else:
         targets = [Path(p) for p in paths]
     files = collect_files(targets)
-    modules = [load_module(file, root=root_path) for file in files]
-    project = Project.build(modules)
+    active = tuple(passes) if passes is not None else registered_passes()
+    workers = jobs if jobs is not None else _default_jobs()
 
     findings: list[Finding] = []
-    findings.extend(check_state_coverage(project))
-    findings.extend(check_snapshot_symmetry(project))
-    findings.extend(check_digest_purity(project))
-    for module in modules:
-        findings.extend(check_determinism(module))
+    if workers > 1 and len(files) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            modules = list(
+                pool.map(lambda file: load_module(file, root=root_path), files)
+            )
+            per_module = pool.map(
+                lambda module: _module_pass_findings(active, module), modules
+            )
+            for batch in per_module:
+                findings.extend(batch)
+    else:
+        modules = [load_module(file, root=root_path) for file in files]
+        for module in modules:
+            findings.extend(_module_pass_findings(active, module))
+
+    project = Project.build(modules)
+    for check_pass in active:
+        if check_pass.scope == "project":
+            findings.extend(check_pass.run(project))
 
     by_display = {module.display: module for module in modules}
     kept: list[Finding] = []
@@ -93,8 +147,9 @@ def build_parser(prog: str = "repro check") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description=(
-            "statically check machine components for snapshot coverage, "
-            "symmetry, digest purity and determinism"
+            "statically analyze simulation code: component contract, "
+            "kernel parity, ambient effects, determinism and fleet "
+            "protocol rules"
         ),
     )
     parser.add_argument(
@@ -111,16 +166,25 @@ def build_parser(prog: str = "repro check") -> argparse.ArgumentParser:
         default="text",
         help="report format (default: text)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-file analysis threads (default: up to 8)",
+    )
     return parser
 
 
-def run_and_report(paths: Sequence[str] | None, fmt: str = "text") -> int:
+def run_and_report(
+    paths: Sequence[str] | None, fmt: str = "text", jobs: int | None = None
+) -> int:
     """Run the checks, print a report, and return the CLI exit code."""
     try:
-        findings = run_checks(paths or None)
+        findings = run_checks(paths or None, jobs=jobs)
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 64
+        return USAGE_ERROR
     report = render_json(findings) if fmt == "json" else render_text(findings)
     print(report)
     return exit_code_for(findings)
@@ -130,4 +194,4 @@ def main(argv: Sequence[str] | None = None, prog: str = "repro check") -> int:
     """CLI entry point; the exit code ORs one bit per rule family that fired."""
     parser = build_parser(prog=prog)
     options = parser.parse_args(argv)
-    return run_and_report(options.paths, options.format)
+    return run_and_report(options.paths, options.format, jobs=options.jobs)

@@ -141,12 +141,15 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
 
     check = sub.add_parser(
         "check",
-        help="statically check machine components (contract & determinism)")
+        help="statically analyze simulation code (contract, kernel parity, "
+             "ambient effects, determinism, fleet protocol)")
     check.add_argument("paths", nargs="*", metavar="PATH",
                        help="files or directories to analyze (default: the "
                             "simulation-path packages)")
     check.add_argument("--format", choices=("text", "json"), default="text",
                        help="report format (default: text)")
+    check.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="per-file analysis threads (default: up to 8)")
 
     worker = sub.add_parser(
         "worker",
@@ -378,7 +381,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     # none of the simulation machinery
     from repro.checks.runner import run_and_report
 
-    return run_and_report(args.paths, args.format)
+    return run_and_report(args.paths, args.format, jobs=args.jobs)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -140,8 +140,11 @@ class LeaseQueue:
 
     # -- keys ----------------------------------------------------------------
 
+    def _tasks_prefix(self) -> str:
+        return f"{self.prefix}/tasks"
+
     def _task_key(self, task_id: str) -> str:
-        return f"{self.prefix}/tasks/{task_id}.json"
+        return f"{self._tasks_prefix()}/{task_id}.json"
 
     def _lease_key(self, task_id: str) -> str:
         return f"{self.prefix}/leases/{task_id}.json"
@@ -149,11 +152,25 @@ class LeaseQueue:
     def _done_key(self, task_id: str) -> str:
         return f"{self.prefix}/done/{task_id}.json"
 
+    def _dead_prefix(self) -> str:
+        return f"{self.prefix}/dead"
+
     def _dead_key(self, task_id: str) -> str:
-        return f"{self.prefix}/dead/{task_id}.json"
+        return f"{self._dead_prefix()}/{task_id}.json"
+
+    def _claims_root(self, task_id: str) -> str:
+        return f"{self.prefix}/claims/{task_id}"
 
     def _claims_prefix(self, task_id: str, attempt: int) -> str:
-        return f"{self.prefix}/claims/{task_id}/{attempt:04d}"
+        return f"{self._claims_root(task_id)}/{attempt:04d}"
+
+    def _claim_key(self, task_id: str, attempt: int, stamp_ns: int) -> str:
+        # unique and timestamp-ordered: the lexicographically first claim
+        # under the attempt prefix wins the race (see module doc)
+        return (
+            f"{self._claims_prefix(task_id, attempt)}/"
+            f"{stamp_ns:020d}-{uuid.uuid4().hex}.json"
+        )
 
     def _failed_prefix(self, task_id: str) -> str:
         return f"{self.prefix}/failed/{task_id}"
@@ -205,7 +222,7 @@ class LeaseQueue:
     def _clear_history(self, task_id: str) -> None:
         for key in list(self.objects.list(self._failed_prefix(task_id))):
             self.objects.delete(key)
-        for key in list(self.objects.list(f"{self.prefix}/claims/{task_id}")):
+        for key in list(self.objects.list(self._claims_root(task_id))):
             self.objects.delete(key)
         self.objects.delete(self._dead_key(task_id))
         self.objects.delete(self._lease_key(task_id))
@@ -214,8 +231,7 @@ class LeaseQueue:
 
     def task_ids(self) -> Iterator[str]:
         """All known task ids (any state), in sorted order."""
-        prefix = f"{self.prefix}/tasks"
-        for key in self.objects.list(prefix):
+        for key in self.objects.list(self._tasks_prefix()):
             name = key.rsplit("/", 1)[-1]
             if name.endswith(".json"):
                 yield name[: -len(".json")]
@@ -303,10 +319,9 @@ class LeaseQueue:
             return None
 
         # -- the claim race: unique timestamp-ordered atomic put, then list.
-        claim = (
-            f"{self._claims_prefix(task_id, attempt)}/"
-            f"{time.time_ns():020d}-{uuid.uuid4().hex}.json"
-        )
+        # the stamp derives from the *injected* clock (not time.time_ns), so
+        # tests driving the protocol on simulated time order claims correctly
+        claim = self._claim_key(task_id, attempt, int(now * 1_000_000_000))
         self._write(claim, {"worker": worker, "claimed_at": now})
         entrants = list(self.objects.list(self._claims_prefix(task_id, attempt)))
         if not entrants or entrants[0] != claim:
@@ -477,7 +492,7 @@ class LeaseQueue:
     def dead_letters(self) -> dict[str, dict[str, Any]]:
         """``{task_id: dead-letter document}`` for every buried task."""
         letters: dict[str, dict[str, Any]] = {}
-        for key in list(self.objects.list(f"{self.prefix}/dead")):
+        for key in list(self.objects.list(self._dead_prefix())):
             name = key.rsplit("/", 1)[-1]
             if not name.endswith(".json"):
                 continue
@@ -489,6 +504,7 @@ class LeaseQueue:
     def describe(self) -> str:
         """One-line summary of the queue's location and parameters."""
         return (
+            # check: ignore[fleet-protocol] human-readable description, never used as an object key
             f"lease queue at {self.objects.describe()}/{self.prefix} "
             f"(ttl={self.lease_ttl:g}s, retries={self.retry_budget})"
         )

@@ -1,0 +1,26 @@
+"""Seeded ambient-effects defect for the check-pass test corpus.
+
+``run_slice`` is a simulation entry point; two innocently named hops
+away it reaches the process id and a fresh UUID, so the slice result
+depends on ambient process state.  The ambient-effects pass (exit bit
+64) must report both effects with the full call path
+``run_slice -> _trace_label -> _worker_identity``.
+"""
+
+import os
+import uuid
+
+
+def run_slice(machine, budget):
+    tag = _trace_label()
+    for _ in range(budget):
+        machine.step()
+    return tag
+
+
+def _trace_label():
+    return _worker_identity()
+
+
+def _worker_identity():
+    return f"{os.getpid()}-{uuid.uuid4().hex}"

@@ -1,0 +1,35 @@
+"""Seeded fleet-protocol defects for the check-pass test corpus.
+
+Four violations, one per lint the fleet-protocol pass (exit bit 128)
+enforces: a hardcoded ``queue/`` key literal, an inline f-string
+splicing ``self.prefix`` outside the designated key helpers, a raw
+``time.time()`` read inside a clock-injected class, and a ``Thread``
+subclass assigning shared state its ``__init__`` never declares.  The
+file name deliberately contains ``fleet`` — that is what routes it to
+this pass instead of the determinism family.
+"""
+
+import threading
+import time
+
+
+class BadQueue:
+    def __init__(self, store, clock=time.time):
+        self.store = store
+        self.prefix = "queue/jobs"
+        self.clock = clock
+
+    def put(self, task_id, payload):
+        key = f"{self.prefix}/tasks/{task_id}.json"
+        self.store.put(key, payload)
+
+    def claim_stamp(self):
+        return time.time()
+
+
+class BadHeartbeat(threading.Thread):
+    def __init__(self):
+        super().__init__(daemon=True)
+
+    def run(self):
+        self.beats = 1

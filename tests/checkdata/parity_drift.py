@@ -1,0 +1,58 @@
+"""Seeded kernel-parity defect for the check-pass test corpus.
+
+``ToyMachine``'s scalar kernel dispatches three instruction kinds, but
+the registered batched stepper only branches on two of them:
+``InstrKind.VECTOR_LOAD`` silently falls into the default arm and the
+two kernels diverge.  ``tests/test_checks.py`` asserts the
+kernel-parity pass (exit bit 32) pins this to the ``DISPATCH`` table.
+
+The module is self-contained test data — ``register_stepper`` is a
+local stand-in and the ``K_*`` codes resolve through the naming
+convention, so the checker needs no other module to prove the drift.
+"""
+
+
+class InstrKind:
+    SCALAR_ALU = 0
+    VECTOR_ALU = 1
+    VECTOR_LOAD = 2
+
+
+K_SCALAR_ALU = 0
+K_VECTOR_ALU = 1
+K_VECTOR_LOAD = 2
+
+
+class ToyMachine:
+    DISPATCH = {
+        InstrKind.SCALAR_ALU: "_run_scalar",
+        InstrKind.VECTOR_ALU: "_run_vector_alu",
+        InstrKind.VECTOR_LOAD: "_run_vector_load",
+    }
+    DEFAULT_HANDLER = "_run_scalar"
+
+    def _run_scalar(self, instr):
+        return instr
+
+    def _run_vector_alu(self, instr):
+        return instr
+
+    def _run_vector_load(self, instr):
+        return instr
+
+
+def _step_toy(machine, lowered):
+    for start, stop, kc in lowered.segments:
+        if kc == K_SCALAR_ALU:
+            machine._run_scalar((start, stop))
+        elif kc == K_VECTOR_ALU:
+            machine._run_vector_alu((start, stop))
+        else:
+            machine._run_scalar((start, stop))
+
+
+def register_stepper(cls, fn):
+    return fn
+
+
+register_stepper(ToyMachine, _step_toy)

@@ -15,6 +15,7 @@ import repro.api
 PUBLIC_SURFACE = (
     "CACHE_DIR_ENV",
     "CHUNK_SIZE_ENV",
+    "CheckPass",
     "ExecutionPlan",
     "ExhibitResult",
     "ExhibitSet",
@@ -41,6 +42,7 @@ PUBLIC_SURFACE = (
     "machine_names",
     "model_for_params",
     "register_machine",
+    "register_pass",
     "resolve_scale",
     "run_checks",
 )

@@ -275,3 +275,36 @@ class TestClaimRace:
     def test_describe_names_the_bucket(self, queue):
         assert "lease queue at" in queue.describe()
         assert "ttl=30" in queue.describe()
+
+
+class TestClaimStamps:
+    """Claim names must derive from the injected clock, not the wall clock.
+
+    The fleet-protocol static check forbids raw ``time.*`` reads inside
+    the clock-injected queue; these tests pin the behavioural half: the
+    timestamp ordering claim entrants race on is simulated time.
+    """
+
+    @staticmethod
+    def stamp_ns_of(queue, task_id: str) -> int:
+        (entrant,) = queue.objects.list(queue._claims_root(task_id))
+        return int(entrant.rsplit("/", 1)[-1].split("-", 1)[0])
+
+    def test_claim_name_embeds_the_injected_clock_stamp(self, queue, clock):
+        queue.submit("t1", payload_for("t1"))
+        clock.advance(12.5)
+        assert queue.claim("w1") is not None
+        expected = int(clock.now * 1_000_000_000)
+        assert self.stamp_ns_of(queue, "t1") == expected
+
+    def test_claim_stamps_track_simulated_time(self, queue, clock):
+        queue.submit("t1", payload_for("t1"))
+        queue.submit("t2", payload_for("t2"))
+        first = queue.claim("w1")
+        clock.advance(7.0)
+        second = queue.claim("w2")
+        assert first is not None and second is not None
+        delta = self.stamp_ns_of(queue, second.task_id) - self.stamp_ns_of(
+            queue, first.task_id
+        )
+        assert delta == int(7.0 * 1_000_000_000)
