@@ -84,8 +84,10 @@ def engine_summary_dict(engine: ExperimentEngine) -> dict[str, Any]:
             "chunk_size": engine.chunk_size,
             "intra_jobs": engine.intra_jobs,
             "accepted": engine.chunks_accepted,
+            "spliced": engine.chunks_spliced,
             "cached": engine.chunk_cache_hits,
             "replayed": engine.chunks_replayed,
+            "rearms": engine.chunk_rearms,
         }
     return summary
 

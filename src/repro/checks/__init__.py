@@ -29,8 +29,13 @@ register themselves on import, and third-party passes plug in through
     no iteration over sets, ``dict.popitem``, ``id()``, builtin
     ``hash()``, ``random``/``time``/``os.environ``, or ``sum()`` over an
     unordered collection in simulation-path code;
-``malformed-suppression`` (bit 16)
-    suppression comments must name a known rule and give a reason;
+``envelope-contract`` (bit 16)
+    every component implementing ``absorb`` must provide a concrete,
+    read-only ``envelope`` projection (:mod:`repro.checks.envelope`);
+    shared with the runner-owned ``malformed-suppression`` hygiene rule
+    (suppression comments must name a known rule and give a reason) —
+    the 8-bit exit space is fully allocated, and the JSON report still
+    identifies the exact rule per finding;
 ``kernel-parity`` (bit 32)
     each machine's scalar ``DISPATCH`` table must be exactly covered by
     its batched stepper's segment branches (:mod:`repro.checks.parity`);

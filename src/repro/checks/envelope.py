@@ -1,0 +1,116 @@
+"""The envelope-contract pass: ``absorb`` implies a read-only ``envelope``.
+
+The chunked simulator's envelope acceptance (:mod:`repro.parallel`) merges
+a worker's exit snapshot whenever the parent machine *proves* it
+reproduced one of the worker's checkpoint envelopes.  That proof is only
+as strong as the projection behind it:
+
+* a component that merges worker state (``absorb``) but does not project
+  its pending work (``envelope``) silently downgrades every machine
+  containing it to quiescent-only acceptance — the exact all-or-nothing
+  gate the envelope mechanism replaced;
+* an ``envelope`` that mutates component state, or reads ambient effects,
+  makes the acceptance walk perturb the very simulation it is comparing
+  against, breaking the bit-identity guarantee in a way no equivalence
+  test can localise.
+
+Hence two rules in one family: every class whose body provides a concrete
+``absorb`` must resolve a concrete ``envelope`` along its MRO, and every
+concrete ``envelope`` body must be read-only — no ``self`` mutation (the
+same store/mutator-call analysis the coverage rules use) and no ambient
+effect (the ambient-effects purity walker, reused verbatim).
+
+The family reports on exit bit 16.  The 8-bit exit space is fully
+allocated, so the runner's suppression-hygiene findings share the bit
+(they are both meta-rules about the checking machinery staying honest);
+the JSON report identifies the exact rule id per finding either way.
+"""
+
+from __future__ import annotations
+
+from repro.checks.astutil import iter_self_mutations, method_is_abstract, self_arg_name
+from repro.checks.contract import Project
+from repro.checks.effects import _effects_in, _random_imports
+from repro.checks.model import CheckPass, Finding, register_pass
+
+_PAIRING_HINT = (
+    "a component that can absorb a worker exit snapshot must also project "
+    "its pending work: implement envelope(anchor) returning the "
+    "anchor-normalised pending times (falsy exactly when quiescent), or "
+    "drop absorb if the component holds no timing state"
+)
+
+_READONLY_HINT = (
+    "envelope() is called while the parent replays a chunk prefix; it must "
+    "be a pure projection of current state — move the mutation into the "
+    "stepping path and thread ambient values in as parameters"
+)
+
+
+def check_envelope_contract(project: Project) -> list[Finding]:
+    """``absorb`` ⇒ ``envelope`` along the MRO; ``envelope`` is read-only."""
+    findings: list[Finding] = []
+    for model in project.classes:
+        absorb = model.methods.get("absorb")
+        if absorb is not None and not method_is_abstract(absorb):
+            if project.find_method(model, "envelope") is None:
+                findings.append(
+                    Finding(
+                        file=model.file,
+                        line=absorb.lineno,
+                        rule="envelope-contract",
+                        message=(
+                            f"{model.name} implements 'absorb' but provides "
+                            "no concrete 'envelope'"
+                        ),
+                        hint=_PAIRING_HINT,
+                    )
+                )
+        envelope = model.methods.get("envelope")
+        if envelope is None or method_is_abstract(envelope):
+            continue
+        receiver = self_arg_name(envelope)
+        if receiver is not None:
+            for attr, line, kind in iter_self_mutations(envelope.body, receiver):
+                findings.append(
+                    Finding(
+                        file=model.file,
+                        line=line,
+                        rule="envelope-contract",
+                        message=(
+                            f"{model.name}.envelope mutates "
+                            f"'{receiver}.{attr}' ({kind})"
+                        ),
+                        hint=_READONLY_HINT,
+                    )
+                )
+        random_names = _random_imports(model.module.tree)
+        for line, effect in _effects_in(envelope, random_names):
+            findings.append(
+                Finding(
+                    file=model.file,
+                    line=line,
+                    rule="envelope-contract",
+                    message=f"{model.name}.envelope reaches {effect}",
+                    hint=_READONLY_HINT,
+                )
+            )
+    return findings
+
+
+register_pass(
+    CheckPass(
+        rule="envelope-contract",
+        bit=16,
+        summary=(
+            "components that absorb worker snapshots must project a "
+            "read-only pending-work envelope"
+        ),
+        scope="project",
+        run=check_envelope_contract,
+        shares_bit=True,
+    )
+)
+
+
+__all__ = ["check_envelope_contract"]

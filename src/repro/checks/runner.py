@@ -25,6 +25,7 @@ from typing import Sequence
 
 # importing the pass modules registers the built-in rule families
 import repro.checks.effects  # noqa: F401  (registration side effect)
+import repro.checks.envelope  # noqa: F401  (registration side effect)
 import repro.checks.fleetlint  # noqa: F401  (registration side effect)
 import repro.checks.parity  # noqa: F401  (registration side effect)
 import repro.checks.rules  # noqa: F401  (registration side effect)
@@ -148,8 +149,8 @@ def build_parser(prog: str = "repro check") -> argparse.ArgumentParser:
         prog=prog,
         description=(
             "statically analyze simulation code: component contract, "
-            "kernel parity, ambient effects, determinism and fleet "
-            "protocol rules"
+            "envelope contract, kernel parity, ambient effects, "
+            "determinism and fleet protocol rules"
         ),
     )
     parser.add_argument(

@@ -259,8 +259,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "chunks": report.chunks,
                 "chunk_size": report.chunk_size,
                 "accepted": report.accepted,
+                "spliced": report.spliced,
                 "replayed": report.replayed,
                 "cache_hits": report.cache_hits,
+                "rearms": report.rearms,
                 "jobs": report.jobs,
             }
         print(_json.dumps(payload, indent=2, sort_keys=True))

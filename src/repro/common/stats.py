@@ -8,9 +8,9 @@ consume these objects to build the paper's tables and figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
-from typing import Mapping
+from typing import Mapping, Optional
 
-from repro.common.intervals import BusyTracker, state_breakdown
+from repro.common.intervals import BusyTracker, splice_suffix, state_breakdown
 
 #: The three vector units whose joint state is reported in Figures 3 and 7,
 #: in the order used by the paper's 3-tuples: (FU2, FU1, MEM).
@@ -184,6 +184,61 @@ class SimStats:
                 sub.name,
                 getattr(self.traffic, sub.name) + getattr(other.traffic, sub.name),
             )
+
+    def splice_mark(self) -> dict:
+        """Bookmark every additive field for a later :meth:`splice_delta`.
+
+        Taken by a chunk worker at an envelope checkpoint: counters record
+        their current value, busy trackers their recording position.  The
+        mark is JSON-compatible and small (no interval payload).
+        """
+        mark: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "unit_busy":
+                mark[f.name] = {
+                    name: tracker.splice_mark() for name, tracker in value.items()
+                }
+            elif f.name == "traffic":
+                mark[f.name] = {
+                    sub.name: getattr(value, sub.name) for sub in fields(value)
+                }
+            else:
+                mark[f.name] = value
+        return mark
+
+    def splice_extra(self) -> dict:
+        """The raw busy-tracker dumps the splice marks index into (at exit)."""
+        return {name: tracker.raw_pairs() for name, tracker in self.unit_busy.items()}
+
+    @staticmethod
+    def splice_delta(state: Mapping, extra: Optional[Mapping], mark: Mapping) -> dict:
+        """Reduce a worker's exit stats dict to the post-checkpoint residue.
+
+        Operates on the :meth:`to_dict` representation: counters and traffic
+        fields shed the value they had at the checkpoint, busy trackers keep
+        only the intervals recorded after it (:func:`splice_suffix`).  The
+        result absorbs through :meth:`absorb_shifted` without double-counting
+        the chunk prefix the parent replayed itself.
+        """
+        raw = extra or {}
+        tracker_marks = mark.get("unit_busy", {})
+        traffic_mark = mark.get("traffic", {})
+        out: dict = {}
+        for key, value in state.items():
+            if key == "unit_busy":
+                out[key] = {
+                    name: splice_suffix(raw.get(name, []), tracker_marks.get(name, [0, 0]))
+                    for name in value
+                }
+            elif key == "traffic":
+                out[key] = {
+                    sub: count - int(traffic_mark.get(sub, 0))
+                    for sub, count in value.items()
+                }
+            else:
+                out[key] = value - int(mark.get(key, 0))
+        return out
 
     def copy(self) -> "SimStats":
         """Return an independent copy (cheaply; no ``deepcopy``).

@@ -381,8 +381,10 @@ class ExperimentEngine:
         self.fleet_points = 0
         #: chunk-level accounting aggregated over all chunked points
         self.chunks_accepted = 0
+        self.chunks_spliced = 0
         self.chunks_replayed = 0
         self.chunk_cache_hits = 0
+        self.chunk_rearms = 0
 
     # -- execution ----------------------------------------------------------
 
@@ -491,8 +493,10 @@ class ExperimentEngine:
                     speculate=speculate, kernel=self.kernel,
                 )
                 self.chunks_accepted += report.accepted
+                self.chunks_spliced += report.spliced
                 self.chunks_replayed += report.replayed
                 self.chunk_cache_hits += report.cache_hits
+                self.chunk_rearms += report.rearms
                 results.append(result)
         finally:
             if pool is not None:
@@ -596,6 +600,7 @@ class ExperimentEngine:
             line += (
                 f", chunked x{self.chunk_size} intra-jobs={self.intra_jobs} "
                 f"({self.chunks_accepted} accepted, "
+                f"{self.chunks_spliced} spliced, "
                 f"{self.chunk_cache_hits} cached, "
                 f"{self.chunks_replayed} replayed)"
             )

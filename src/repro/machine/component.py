@@ -24,7 +24,24 @@ simulator (:mod:`repro.parallel`) look for:
   time field by ``delta`` and *adding* monotone counters;
 * ``structural()`` / ``apply_structural(state)`` — project / impose the
   stream-determined part of the state (the part a structural scout can
-  predict without timing).
+  predict without timing);
+* ``envelope(anchor)`` — a conservative, anchor-normalised projection of
+  every pending cycle number still *observable* past the cut anchor
+  (busy tails, pending ready times, in-flight entries).  Values at or
+  below the per-site floor are clamped out, so the projection is falsy
+  exactly when the component is quiescent, and two components whose
+  envelopes are equal behave identically (up to the uniform anchor
+  shift) for all post-anchor traffic.  Must be read-only — the
+  envelope-contract check (:mod:`repro.checks`) enforces both the purity
+  and that every component with ``absorb`` provides it;
+* ``splice_mark()`` / ``splice_extra()`` / ``splice_delta(state, extra,
+  mark)`` — envelope-splice support: ``splice_mark`` bookmarks the
+  additive state (counters, busy-record positions) at a checkpoint,
+  ``splice_extra`` dumps whatever raw recording the marks index into at
+  exit, and the pure ``splice_delta`` reduces a worker exit snapshot to
+  the post-checkpoint residue the parent may absorb without
+  double-counting the prefix it replayed itself.  Components whose
+  ``absorb`` is wholly replace-style need none of these.
 
 A machine (:class:`repro.machine.core.StagedMachine`) is then declared as
 a named set of components plus a per-instruction-class dispatch table; its

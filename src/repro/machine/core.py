@@ -65,6 +65,10 @@ class StagedMachine:
     ABSORB_SHIFT: Tuple[str, ...] = ()
     #: scalar fields merged with ``max(parent, worker + Δ)`` on absorb
     ABSORB_MAX: Tuple[str, ...] = ("horizon",)
+    #: scalar fields in the timing envelope: name -> floor offset above the
+    #: anchor (values at or below ``anchor + offset`` are dominated and
+    #: clamped out of the projection)
+    ENVELOPE_SCALARS: Mapping[str, int] = {}
     #: instruction-class dispatch table: kind -> handler method name
     DISPATCH: Mapping[InstrKind, str] = {}
     #: handler method name for kinds absent from :attr:`DISPATCH`
@@ -250,6 +254,97 @@ class StagedMachine:
             if check is None or not check(anchor):
                 return False
         return True
+
+    def envelope(self) -> Optional[dict]:
+        """Anchor-normalised projection of all still-observable pending timing.
+
+        Composes the declared scalar fields (:attr:`ENVELOPE_SCALARS`) with
+        every component's ``envelope`` capability; falsy sub-projections are
+        omitted, so the result is ``{}`` exactly when the machine is
+        :meth:`quiescent` — the *zero envelope* every canonical-frame worker
+        assumes at its entry.  Returns ``None`` when any component lacks the
+        capability (the machine then cannot take part in envelope
+        acceptance and falls back to exact replay).
+        """
+        anchor = self.chunk_anchor()
+        env: dict = {}
+        for name, offset in self.ENVELOPE_SCALARS.items():
+            pending = getattr(self, name) - anchor - offset
+            if pending > 0:
+                env[name] = pending
+        for name, component in self._components.items():
+            if component is None:
+                continue
+            project = getattr(component, "envelope", None)
+            if project is None:
+                return None
+            sub = project(anchor)
+            if sub:
+                env[name] = sub
+        return env
+
+    def chunk_checkpoint(self) -> Optional[dict]:
+        """One envelope checkpoint, recorded by a worker between sub-slices.
+
+        Carries everything the parent needs to test the splice at this
+        offset — the worker's anchor, its envelope digest and normalised
+        horizon — plus the :meth:`splice_mark` bookmarks that let the parent
+        reduce the worker's exit snapshot to the post-checkpoint residue.
+        """
+        env = self.envelope()
+        if env is None:
+            return None
+        anchor = self.chunk_anchor()
+        return {
+            "anchor": anchor,
+            "envelope": state_digest(env),
+            "horizon": max(self.horizon - anchor, 0),
+            "marks": self.splice_mark(),
+        }
+
+    def splice_mark(self) -> dict:
+        """Bookmark all additive state (stats and component counters)."""
+        marks: dict = {"stats": self.stats.splice_mark()}
+        for name, component in self._components.items():
+            if component is None:
+                continue
+            mark = getattr(component, "splice_mark", None)
+            if mark is not None:
+                marks[name] = mark()
+        return marks
+
+    def splice_extra(self) -> dict:
+        """The raw recordings (busy dumps) the splice marks index into."""
+        extras: dict = {"stats": self.stats.splice_extra()}
+        for name, component in self._components.items():
+            if component is None:
+                continue
+            fn = getattr(component, "splice_extra", None)
+            if fn is not None:
+                extras[name] = fn()
+        return extras
+
+    def splice_state(self, state: dict, extra: Mapping, marks: Mapping) -> dict:
+        """Reduce a worker exit snapshot to the post-checkpoint residue.
+
+        ``state`` is the worker's exit :meth:`snapshot`, ``extra`` its
+        :meth:`splice_extra` dump and ``marks`` the :meth:`splice_mark`
+        taken at the matched checkpoint.  Replace-style state passes through
+        unchanged (the absorb policies overwrite it); additive state — every
+        monotone counter and busy record — sheds the prefix the parent has
+        already replayed itself.  The result feeds :meth:`absorb_chunk`.
+        """
+        out = dict(state)
+        for name, component in self._components.items():
+            if component is None or state.get(name) is None:
+                continue
+            fn = getattr(component, "splice_delta", None)
+            if fn is not None:
+                out[name] = fn(state[name], extra.get(name), marks[name])
+        out["stats"] = SimStats.splice_delta(
+            state["stats"], extra.get("stats"), marks["stats"]
+        )
+        return out
 
     def absorb_chunk(self, worker: dict, delta: int) -> None:
         """Merge a worker's canonical-frame exit snapshot, shifted by ``delta``.

@@ -55,6 +55,9 @@ class _InOrderRun(_OOORun):
     SNAPSHOT_SCALARS = ("last_rename", "fetch_resume", "issue_ready", "horizon")
     SCALAR_DEFAULTS = {"last_rename": -1}
     ABSORB_SHIFT = ("last_rename", "fetch_resume", "issue_ready")
+    # ``issue_ready`` gates via ``max(earliest, issue_ready)`` where every
+    # post-cut ``earliest`` is at least ``anchor + 1`` — floor offset 1.
+    ENVELOPE_SCALARS = {"fetch_resume": 0, "issue_ready": 1}
 
     #: the in-order issue pointer (cycle the next instruction may issue at)
     issue_ready: int

@@ -118,6 +118,37 @@ class MemorySystem(ComponentBase):
         self.vector_store_requests += int(state["vector_store_requests"])
         self.scalar_requests += int(state["scalar_requests"])
 
+    def envelope(self, anchor: int) -> list[list[int]]:
+        """The address-bus reservations still visible past ``anchor``."""
+        return self.address_bus.envelope(anchor)
+
+    def splice_mark(self) -> dict:
+        """Bookmark the bus recording and the request counters."""
+        return {
+            "bus": self.address_bus.splice_mark(),
+            "requests": [
+                self.vector_load_requests,
+                self.vector_store_requests,
+                self.scalar_requests,
+            ],
+        }
+
+    def splice_extra(self) -> dict:
+        """The raw bus busy dump the splice mark indexes into."""
+        return {"bus": self.address_bus.splice_extra()}
+
+    @staticmethod
+    def splice_delta(state: dict, extra: dict, mark: dict) -> dict:
+        """Reduce a worker exit snapshot to the post-checkpoint residue."""
+        requests = mark["requests"]
+        raw = (extra or {}).get("bus")
+        return {
+            "bus": GapResource.splice_delta(state["bus"], raw, mark["bus"]),
+            "vector_load_requests": int(state["vector_load_requests"]) - int(requests[0]),
+            "vector_store_requests": int(state["vector_store_requests"]) - int(requests[1]),
+            "scalar_requests": int(state["scalar_requests"]) - int(requests[2]),
+        }
+
     # -- statistics -----------------------------------------------------------
 
     @property

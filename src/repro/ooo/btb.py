@@ -148,6 +148,26 @@ class BranchPredictor(ComponentBase):
         """The predictor holds no cycle numbers — always dominated."""
         return True
 
+    def envelope(self, anchor: int) -> dict:
+        """The predictor holds no cycle numbers — the envelope is empty.
+
+        Its contents are stream-determined and already covered by the
+        structural digest the acceptance test checks first.
+        """
+        return {}
+
+    def splice_mark(self) -> list[int]:
+        """Bookmark the prediction counters for a later :meth:`splice_delta`."""
+        return [self.predictions, self.mispredictions]
+
+    @staticmethod
+    def splice_delta(state: dict, extra: object, mark: list) -> dict:
+        """Shed the pre-checkpoint counters; BTB/RAS contents pass through."""
+        out = dict(state)
+        out["predictions"] = int(state["predictions"]) - int(mark[0])
+        out["mispredictions"] = int(state["mispredictions"]) - int(mark[1])
+        return out
+
     def absorb(self, state: dict, delta: int) -> None:
         """Adopt the worker's exit contents; prediction counters add."""
         predictions = self.predictions + int(state["predictions"])

@@ -160,6 +160,26 @@ class TagTable(ComponentBase):
         """Tags hold byte ranges, not cycle numbers — always dominated."""
         return True
 
+    def envelope(self, anchor: int) -> dict:
+        """Tags hold no cycle numbers — the envelope is empty.
+
+        The tag rows are stream-determined and already covered by the
+        structural digest the acceptance test checks first.
+        """
+        return {}
+
+    def splice_mark(self) -> list[int]:
+        """Bookmark the counters for a later :meth:`splice_delta`."""
+        return [self.matches, self.invalidations]
+
+    @staticmethod
+    def splice_delta(state: dict, extra: object, mark: list) -> dict:
+        """Shed the pre-checkpoint counters; the tag rows pass through."""
+        out = dict(state)
+        out["matches"] = int(state["matches"]) - int(mark[0])
+        out["invalidations"] = int(state["invalidations"]) - int(mark[1])
+        return out
+
     def absorb(self, state: dict, delta: int) -> None:
         """Adopt the worker's exit tags; match/invalidation counters add."""
         matches = self.matches + int(state["matches"])
@@ -225,6 +245,33 @@ class LoadEliminationUnit(ComponentBase):
 
     def quiescent(self, anchor: int) -> bool:
         return True
+
+    def envelope(self, anchor: int) -> dict:
+        """No cycle numbers anywhere in the unit — the envelope is empty."""
+        return {}
+
+    def splice_mark(self) -> dict:
+        return {
+            "tables": {table.name: table.splice_mark() for table in self.all_tables()},
+            "eliminated": [self.vector_loads_eliminated, self.scalar_loads_eliminated],
+        }
+
+    def splice_delta(self, state: dict, extra: object, mark: dict) -> dict:
+        eliminated = mark["eliminated"]
+        return {
+            "tables": {
+                table.name: table.splice_delta(
+                    state["tables"][table.name], None, mark["tables"][table.name]
+                )
+                for table in self.all_tables()
+            },
+            "vector_loads_eliminated": (
+                int(state["vector_loads_eliminated"]) - int(eliminated[0])
+            ),
+            "scalar_loads_eliminated": (
+                int(state["scalar_loads_eliminated"]) - int(eliminated[1])
+            ),
+        }
 
     def absorb(self, state: dict, delta: int) -> None:
         for table in self.all_tables():

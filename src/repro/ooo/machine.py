@@ -94,6 +94,10 @@ class _OOORun(StagedMachine):
     SNAPSHOT_SCALARS = ("last_rename", "fetch_resume", "horizon")
     SCALAR_DEFAULTS = {"last_rename": -1}
     ABSORB_SHIFT = ("last_rename", "fetch_resume")
+    # ``fetch_resume`` is consumed via ``max(last_rename + 1, fetch_resume)``
+    # (:meth:`decode`), so its floor is the anchor itself; ``last_rename``
+    # never exceeds ``anchor - 1`` by construction and needs no entry.
+    ENVELOPE_SCALARS = {"fetch_resume": 0}
     DISPATCH = {
         InstrKind.VECTOR_ALU: "_run_vector_compute",
         InstrKind.VECTOR_LOAD: "_run_memory",

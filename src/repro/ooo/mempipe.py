@@ -154,6 +154,41 @@ class MemoryPipeline(ComponentBase):
             return False
         return not any(p.address_done > anchor for p in self._pending)
 
+    def envelope(self, anchor: int) -> dict:
+        """Anchor-normalised projection of the still-observable memory state.
+
+        The pipe contributes its overhang past the dominated
+        ``anchor + depth`` band; pending accesses contribute their (stream-
+        determined) regions with normalised completion times, in recording
+        order, clamping out rows whose addresses were fully sent by the
+        anchor — disambiguation scans enter strictly past the anchor and
+        only ever wait on later completions.  Empty exactly when
+        :meth:`quiescent`.
+        """
+        env: dict = {}
+        overhang = self.pipe.envelope(anchor)
+        if overhang:
+            env["pipe"] = overhang
+        pending = [
+            [p.seq, p.region_start, p.region_end, bool(p.is_store), p.address_done - anchor]
+            for p in self._pending
+            if p.address_done > anchor
+        ]
+        if pending:
+            env["pending"] = pending
+        return env
+
+    def splice_mark(self) -> int:
+        """Bookmark the stall counter for a later :meth:`splice_delta`."""
+        return self.dependence_stalls
+
+    @staticmethod
+    def splice_delta(state: dict, extra: object, mark: int) -> dict:
+        """Shed the pre-checkpoint stalls; pipe and window pass through."""
+        out = dict(state)
+        out["dependence_stalls"] = int(state["dependence_stalls"]) - int(mark)
+        return out
+
     def absorb(self, state: dict, delta: int) -> None:
         """Adopt the worker's (shifted) pipe and pending window; stalls add.
 

@@ -204,6 +204,51 @@ class RegisterFileRenamer(ComponentBase):
                 return False
         return True
 
+    def envelope(self, anchor: int) -> dict:
+        """Anchor-normalised projection of the still-observable rename timing.
+
+        Registers whose ready/first-result times are dominated by the anchor
+        are clamped out (reads floor at the anchor through ``max``); free-list
+        entries are keyed by FIFO *position* — the allocation order is
+        structural — with only above-anchor availability times reported.
+        Empty exactly when :meth:`quiescent`.
+        """
+        regs = [
+            [
+                reg.ident,
+                max(reg.ready - anchor, 0),
+                max(reg.first_result - anchor, 0),
+                bool(reg.from_load),
+            ]
+            for reg in self.registers
+            if reg.ready > anchor or reg.first_result > anchor
+        ]
+        free = [
+            [position, avail - anchor]
+            for position, avail in enumerate(self.free.values())
+            if avail > anchor
+        ]
+        env: dict = {}
+        if regs:
+            env["regs"] = regs
+        if free:
+            env["free"] = free
+        return env
+
+    def splice_mark(self) -> list[int]:
+        """Bookmark the stall counters for a later :meth:`splice_delta`."""
+        return [self.allocation_stalls, self.allocation_stall_cycles]
+
+    @staticmethod
+    def splice_delta(state: dict, extra: object, mark: list) -> dict:
+        """Shed the pre-checkpoint stall counts; timing state passes through."""
+        out = dict(state)
+        out["allocation_stalls"] = int(state["allocation_stalls"]) - int(mark[0])
+        out["allocation_stall_cycles"] = (
+            int(state["allocation_stall_cycles"]) - int(mark[1])
+        )
+        return out
+
     def absorb(self, state: dict, delta: int) -> None:
         """Adopt the worker's (shifted) rename state; stall counters add."""
         for ident, ready, first_result, from_load in state["regs"]:
@@ -309,6 +354,24 @@ class RenameUnit(ComponentBase):
 
     def quiescent(self, anchor: int) -> bool:
         return all(file.quiescent(anchor) for file in self.files.values())
+
+    def envelope(self, anchor: int) -> dict:
+        """Per-class envelopes, keyed by register-class value (empty omitted)."""
+        env: dict = {}
+        for cls, file in self.files.items():
+            sub = file.envelope(anchor)
+            if sub:
+                env[cls.value] = sub
+        return env
+
+    def splice_mark(self) -> dict:
+        return {cls.value: file.splice_mark() for cls, file in self.files.items()}
+
+    def splice_delta(self, state: dict, extra: object, mark: dict) -> dict:
+        return {
+            cls.value: file.splice_delta(state[cls.value], None, mark[cls.value])
+            for cls, file in self.files.items()
+        }
 
     def absorb(self, state: dict, delta: int) -> None:
         for cls, file in self.files.items():

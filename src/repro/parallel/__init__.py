@@ -21,6 +21,7 @@ from repro.parallel.driver import (  # noqa: F401
     DEFAULT_CHUNK_SIZE,
     ChunkedReport,
     ChunkedSimulation,
+    available_cpus,
     simulate_trace_chunked,
 )
 from repro.parallel.chunkstore import ChunkStore  # noqa: F401

@@ -34,14 +34,32 @@ machine's boundary behaviour is *derived* from its component registry by
 :class:`repro.machine.core.StagedMachine` — this module only keeps the
 digest and the registry-dispatch entry points used by the chunked driver.
 
-A speculative chunk result is accepted only when, at stitch time, the true
-machine state is quiescent **and** its structural projection digests to the
-entry digest the worker was seeded with.  Anything else takes the
+**Envelope acceptance.**  Quiescence is the all-or-nothing special case of
+a finer test.  The *envelope* of a machine state is the anchor-normalised
+projection of every still-observable pending time value (busy-interval
+tails, register ready times, queue departures, pending writebacks — each
+component projects its own share, see the ``envelope`` capability of
+:mod:`repro.machine.component`).  Two states with equal envelopes, equal
+structural projections and dominated horizons are behaviourally
+indistinguishable to every post-cut instruction, differing only by the
+anchor shift δ.  A chunk worker therefore records checkpoint envelopes at
+fixed instruction offsets while it simulates; at stitch time the parent
+replays the chunk prefix and accepts — *splices* — the worker's suffix at
+the first checkpoint whose envelope digest it reproduces, provided the
+worker's normalised horizon does not exceed the parent's (so the
+``max``-absorbed horizon stays exact).  The zero envelope ``{}`` is the
+canonical quiescent frame every worker starts from, which makes the old
+quiescent acceptance exactly the offset-0 match of the same walk.
+
+A speculative chunk result is merged only when, at stitch time, the true
+machine's structural projection digests to the entry digest the worker was
+seeded with **and** one of the worker's checkpoint envelopes is proven to
+dominate the parent's actual envelope.  Anything else takes the
 exact-replay fallback, so correctness never depends on the speculation
 paying off.  On an accepted merge, time fields shift by Δ, monotonically
-accumulated counters add, busy-interval trackers concatenate (old intervals
-all end ≤ A, shifted chunk intervals all start ≥ A+1, so order and
-disjointness are preserved), and structural state is replaced by the
+accumulated counters add (splices first shed the prefix the parent already
+replayed itself, via the ``splice_mark``/``splice_delta`` capabilities),
+busy-interval trackers extend, and structural state is replaced by the
 worker's exit state — each component absorbing its own share.
 """
 
@@ -52,7 +70,7 @@ from typing import Any
 from repro.machine.component import state_digest
 
 #: bump when the snapshot/boundary schema changes (invalidates chunk caches)
-BOUNDARY_VERSION = 1
+BOUNDARY_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -98,6 +116,58 @@ def apply_chunk(run: Any, worker: dict, delta: int) -> None:
             f"{model.name!r} run"
         )
     model.apply_chunk(run, worker, delta)
+
+
+# ---------------------------------------------------------------------------
+# Timing envelopes (speculative acceptance beyond full quiescence)
+# ---------------------------------------------------------------------------
+
+def envelope_of(run: Any) -> dict | None:
+    """Anchor-normalised pending-timing projection of a live run.
+
+    ``{}`` exactly when the run is quiescent (the canonical-frame entry
+    state every chunk worker assumes); ``None`` when the machine cannot
+    take part in envelope acceptance — a model without the kernel-derived
+    ``envelope`` capability, or one whose components lack it — in which
+    case the chunk takes the exact-replay fallback.
+    """
+    project = getattr(run, "envelope", None)
+    if project is None:
+        return {} if quiescent(run) else None
+    return project()
+
+
+def envelope_digest(envelope: dict) -> str:
+    """Stable hex digest of an anchor-normalised envelope."""
+    return state_digest(envelope)
+
+
+#: digest of the zero envelope — machine-independent, because every
+#: machine's quiescent projection is the same empty mapping
+ZERO_ENVELOPE_DIGEST = envelope_digest({})
+
+
+def horizon_of(run: Any) -> int:
+    """The run's anchor-normalised completion horizon (0 when absent)."""
+    horizon = getattr(run, "horizon", None)
+    if horizon is None:
+        return 0
+    return max(int(horizon) - anchor_of(run), 0)
+
+
+def splice_chunk(run: Any, payload: dict, checkpoint: dict) -> None:
+    """Merge a worker payload at one of its recorded checkpoints.
+
+    ``run`` must have replayed the chunk prefix up to the checkpoint's
+    offset and reproduced its envelope digest.  The worker's exit snapshot
+    is first reduced to the post-checkpoint residue (additive state sheds
+    the prefix the parent already accumulated itself) and then absorbed
+    shifted by δ = parent anchor − worker checkpoint anchor.
+    """
+    doctored = run.splice_state(
+        payload["state"], payload.get("extra") or {}, checkpoint["marks"]
+    )
+    apply_chunk(run, doctored, anchor_of(run) - int(checkpoint["anchor"]))
 
 
 # ---------------------------------------------------------------------------

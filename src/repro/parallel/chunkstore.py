@@ -33,7 +33,7 @@ from pathlib import Path
 from repro.parallel.boundary import BOUNDARY_VERSION
 
 #: chunk-entry schema version (also folded into every derived fingerprint)
-CHUNK_STORE_VERSION = 1
+CHUNK_STORE_VERSION = 2
 
 #: subdirectory of the experiment cache dir holding chunk entries
 CHUNK_SUBDIR = "chunks"
@@ -46,6 +46,7 @@ def chunk_fingerprint(
     start: int,
     stop: int,
     entry_digest: str,
+    entry_envelope: str = "",
 ) -> str:
     """Derived fingerprint identifying one speculative chunk result."""
     blob = json.dumps(
@@ -55,6 +56,7 @@ def chunk_fingerprint(
             "index": index,
             "range": [start, stop],
             "entry": entry_digest,
+            "envelope": entry_envelope,
             "version": [CHUNK_STORE_VERSION, BOUNDARY_VERSION],
         },
         sort_keys=True,

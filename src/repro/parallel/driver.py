@@ -10,21 +10,30 @@ point.  The flow:
    ``jobs=1`` and ``speculate="always"``, computed inline on demand), which
    simulates it in the canonical time frame starting from the predicted
    boundary and returns its full exit snapshot.
-3. The stitcher walks the chunks in order over a live *parent* machine.  A
-   speculative result is merged — shifted by the cut's anchor Δ — only when
-   the parent is provably at a safe cut (quiescent state whose structural
-   digest matches the prediction; see :mod:`repro.parallel.boundary`).
-   Otherwise the chunk takes the **exact-replay fallback**: the parent
-   machine, which *is* the predecessor's true boundary state, simply
-   simulates the chunk inline, exactly as a monolithic run would.
+3. The stitcher walks the chunks in order over a live *parent* machine.
+   Each worker records checkpoint envelopes (anchor-normalised pending
+   timing; see :mod:`repro.parallel.boundary`) at fixed instruction
+   offsets while it simulates.  The stitcher first verifies the parent's
+   structural digest against the worker's predicted entry state, then
+   replays the chunk prefix until it reproduces one of those checkpoint
+   envelopes with a dominated horizon — at which point the worker's
+   remaining work is proven identical (mod the anchor shift δ) and its
+   exit snapshot is **spliced** in, the parent-replayed prefix shed via
+   the splice marks.  An offset-0 match is the classic quiescent accept
+   (no prefix at all).  A chunk whose checkpoints are all exhausted takes
+   the **exact-replay fallback**: the parent machine, which *is* the
+   predecessor's true boundary state, simply finishes the chunk inline,
+   exactly as a monolithic run would.
 
 Either path yields bit-identical :class:`~repro.common.stats.SimStats`; the
 speculation only decides how much of the work ran in parallel.  An adaptive
-backoff stops feeding the pool when the first chunks all miss (the deeply
-pipelined OOOVA rarely quiesces at a cut, whereas the in-order reference
-machine does at a large fraction of instruction boundaries), so a
-speculation-hostile configuration degrades to a plain sequential run plus a
-planning pass rather than burning a pool per chunk for nothing.
+backoff stops feeding the pool when the first chunks all miss and no
+splice has landed, so a speculation-hostile configuration degrades to a
+plain sequential run plus a planning pass rather than burning a pool per
+chunk for nothing.  While backed off the driver keeps probing one chunk
+every :data:`REARM_PROBE_EVERY`; enough successful probes
+(:data:`REARM_AFTER`) re-arm speculation, so one hostile region of a trace
+no longer disables parallelism for the entire remainder of the point.
 
 Accepted worker snapshots are memoised through an optional
 :class:`~repro.parallel.chunkstore.ChunkStore` under fingerprints derived
@@ -34,6 +43,7 @@ the final result, or a schema bump elsewhere) skip straight to stitching.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -46,7 +56,10 @@ from repro.parallel.boundary import (
     anchor_of,
     apply_chunk,
     apply_structural,
-    quiescent,
+    envelope_digest,
+    envelope_of,
+    horizon_of,
+    splice_chunk,
     structural_digest,
     structural_of,
 )
@@ -60,8 +73,25 @@ DEFAULT_CHUNK_SIZE = 1024
 #: consecutive replays, with no accept yet, before speculation is abandoned
 AUTO_BACKOFF_AFTER = 2
 
+#: instruction interval between a chunk worker's envelope checkpoints
+CHECKPOINT_EVERY = 64
+
+#: while backed off, try one speculative probe chunk every this many chunks
+REARM_PROBE_EVERY = 8
+
+#: successful probe chunks required before speculation re-arms
+REARM_AFTER = 1
+
 #: speculation policies
 SPECULATE_MODES = ("auto", "always", "never")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def _make_run(params: Any, name: str = "", instructions: Iterable | None = None) -> Any:
@@ -99,24 +129,52 @@ def _resolve_instructions(source: tuple) -> list:
     raise SimulationError(f"unknown chunk-instruction source {kind!r}")
 
 
-def _simulate_chunk(task: tuple) -> dict:
-    """Worker entry point: simulate one chunk in the canonical frame.
-
-    Top-level function so the process pool can pickle it.  ``task`` is
-    ``(params, trace_name, instruction_source, entry_structural, kernel)``;
-    the return value is the worker machine's full exit snapshot.
-    """
-    params, name, source, entry_structural, kernel = task
-    run = _make_run(params, name)
-    apply_structural(run, entry_structural)
-    instructions = _resolve_instructions(source)
+def _kernel_slice(run: Any, instructions: Any, kernel: str) -> None:
+    """Advance ``run`` through ``instructions`` on the requested kernel."""
     if kernel == "batched":
         from repro.machine.batched import run_slice_batched
 
         run_slice_batched(run, instructions)
     else:
         run.run_slice(instructions)
-    return run.snapshot()
+
+
+def _simulate_chunk(task: tuple) -> dict:
+    """Worker entry point: simulate one chunk in the canonical frame.
+
+    Top-level function so the process pool can pickle it.  ``task`` is
+    ``(params, trace_name, instruction_source, entry_structural, kernel)``;
+    the return value is ``{"state", "checkpoints", "extra"}`` — the worker
+    machine's full exit snapshot plus the envelope checkpoints it recorded
+    every :data:`CHECKPOINT_EVERY` instructions (offset 0 included, so an
+    already-quiescent parent accepts without replaying anything) and the
+    raw recordings the checkpoint splice marks index into.
+    """
+    params, name, source, entry_structural, kernel = task
+    run = _make_run(params, name)
+    apply_structural(run, entry_structural)
+    instructions = _resolve_instructions(source)
+    checkpoints: list[dict] = []
+    record = getattr(run, "chunk_checkpoint", None)
+    position = 0
+    total = len(instructions)
+    while record is not None and position < total:
+        checkpoint = record()
+        if checkpoint is None:
+            # a component without the envelope capability: the chunk can
+            # only ever be replayed, so stop paying for checkpoints
+            checkpoints.clear()
+            break
+        checkpoint["offset"] = position
+        checkpoints.append(checkpoint)
+        stop = min(position + CHECKPOINT_EVERY, total)
+        _kernel_slice(run, instructions[position:stop], kernel)
+        position = stop
+    if position < total:
+        _kernel_slice(run, instructions[position:], kernel)
+    extra_fn = getattr(run, "splice_extra", None)
+    extra = extra_fn() if (extra_fn is not None and checkpoints) else {}
+    return {"state": run.snapshot(), "checkpoints": checkpoints, "extra": extra}
 
 
 @dataclass
@@ -124,7 +182,11 @@ class ChunkedReport:
     """What the chunked run actually did (diagnostics, bench, tests)."""
 
     chunks: int = 0
+    #: chunks merged at checkpoint offset 0 (the parent was quiescent)
     accepted: int = 0
+    #: chunks merged at a later checkpoint (envelope splice after a
+    #: partial prefix replay)
+    spliced: int = 0
     replayed: int = 0
     cache_hits: int = 0
     speculated: int = 0
@@ -132,17 +194,38 @@ class ChunkedReport:
     jobs: int = 1
     #: chunk index after which auto-backoff stopped speculating (-1: never)
     backoff_at: int = -1
+    #: times a successful probe re-armed speculation after a backoff
+    rearms: int = 0
     #: cut indices that were quiescent when reached (accepted or cache-fed)
     safe_cuts: list[int] = field(default_factory=list)
+
+    def merged(self) -> int:
+        """Chunks that consumed a worker result (accepted or spliced)."""
+        return self.accepted + self.spliced
+
+    def acceptance(self) -> dict:
+        """Per-point chunk-acceptance telemetry (bench output, BENCH json)."""
+        return {
+            "chunks": self.chunks,
+            "accepted": self.accepted,
+            "spliced": self.spliced,
+            "replayed": self.replayed,
+            "cache_hits": self.cache_hits,
+            "backoff_at": self.backoff_at,
+            "rearms": self.rearms,
+        }
 
     def summary(self) -> str:
         line = (
             f"chunked: {self.chunks} chunks x{self.chunk_size}, "
-            f"{self.accepted} accepted ({self.cache_hits} cached), "
+            f"{self.accepted} accepted, {self.spliced} spliced "
+            f"({self.cache_hits} cached), "
             f"{self.replayed} replayed, jobs={self.jobs}"
         )
         if self.backoff_at >= 0:
             line += f", speculation stopped after chunk {self.backoff_at}"
+        if self.rearms:
+            line += f", re-armed {self.rearms}x"
         return line
 
 
@@ -200,7 +283,7 @@ class ChunkedSimulation:
             return None
         return chunk_fingerprint(
             self.point_fingerprint, self.chunk_size, plan.index,
-            plan.start, plan.stop, plan.entry_digest,
+            plan.start, plan.stop, plan.entry_digest, plan.entry_envelope,
         )
 
     def _instructions(self, plan: ChunkPlan) -> list:
@@ -218,12 +301,7 @@ class ChunkedSimulation:
 
     def _run_slice(self, machine: Any, instructions: Any) -> None:
         """Advance ``machine`` through ``instructions`` on the active kernel."""
-        if self.kernel == "batched":
-            from repro.machine.batched import run_slice_batched
-
-            run_slice_batched(machine, instructions)
-        else:
-            machine.run_slice(instructions)
+        _kernel_slice(machine, instructions, self.kernel)
 
     # -- execution ----------------------------------------------------------
 
@@ -245,13 +323,22 @@ class ChunkedSimulation:
         speculating = self.speculate != "never"
         pool = self._external_pool
         own_pool = False
+        #: on a single-CPU host pool workers can only contend with the
+        #: parent for the same core, so a cold speculating run would cost
+        #: strictly more wall-clock than the monolithic pass; "auto" then
+        #: runs pool-less — the chunk store still feeds splices, so a warm
+        #: resume keeps its speedup ("always" keeps the pool: explicit
+        #: opt-in, and what the pool-path tests drive)
+        pool_useful = self.speculate != "auto" or available_cpus() >= 2
+        if not pool_useful:
+            pool = None
         self._futures: dict[int, Future] = {}
         self._submitted = 0
         self._pool_ok = True
         #: chunk states already read from the store by the submit path,
         #: consumed by the stitcher (avoids parsing each entry twice)
         self._prefetched: dict[int, dict] = {}
-        if speculating and self.jobs > 1 and pool is None:
+        if speculating and pool_useful and self.jobs > 1 and pool is None:
             try:
                 pool = ProcessPoolExecutor(max_workers=self.jobs)
                 own_pool = True
@@ -323,16 +410,52 @@ class ChunkedSimulation:
     ) -> None:
         """Walk chunks in order, merging accepted results, replaying the rest."""
         misses = 0
-        nontrivial_accepts = 0  # chunk 0 accepts by construction; ignore it
+        nontrivial_merges = 0  # chunk 0 accepts by construction; ignore it
         total = len(self._cuts)
+        probe_at = -1  # next probe index while backed off (auto mode only)
+        probe_successes = 0
         for index in range(total):
-            if not speculating:
+            if not speculating and (self.speculate != "auto" or self._plan_failed):
                 # replay the whole remaining tail in one sequential pass —
                 # no plans, snapshots or digests needed past this point
                 self._run_slice(
                     parent, self.trace.instructions[self._cuts[index]:])
                 self.report.replayed += total - index
                 return
+            if not speculating:
+                # backed off: replay chunk by chunk, probing periodically
+                # so a locally hostile trace region cannot permanently
+                # disable speculation for the whole point
+                if index == probe_at:
+                    plan = self._plan(index)
+                    if plan is not None and self._try_chunk(parent, plan, pool):
+                        probe_successes += 1
+                        misses = 0
+                        if plan.index > 0:
+                            nontrivial_merges += 1
+                        if probe_successes >= REARM_AFTER:
+                            speculating = True
+                            self.report.rearms += 1
+                            self._submitted = max(self._submitted, index + 1)
+                        continue
+                    if plan is None:
+                        # scout gave up mid-probe: this chunk still has to
+                        # run; the tail fast path takes over next iteration
+                        self._run_slice(
+                            parent,
+                            self.trace.instructions[
+                                self._cuts[index]:self._chunk_stop(index)],
+                        )
+                    self.report.replayed += 1
+                    probe_at = index + REARM_PROBE_EVERY
+                    continue
+                self._submit_probe(pool, probe_at)
+                self._run_slice(
+                    parent,
+                    self.trace.instructions[self._cuts[index]:self._chunk_stop(index)],
+                )
+                self.report.replayed += 1
+                continue
             if pool is not None:
                 self._submit_wave(pool, index + 2 * self.jobs)
             plan = self._plan(index)
@@ -342,37 +465,126 @@ class ChunkedSimulation:
                     parent, self.trace.instructions[self._cuts[index]:])
                 self.report.replayed += total - index
                 return
-            worker_state = None
-            if quiescent(parent):
-                digest = structural_digest(structural_of(parent))
-                if digest == plan.entry_digest:
-                    self.report.safe_cuts.append(plan.index)
-                    worker_state = self._obtain(plan, self._futures, pool)
-            if worker_state is not None:
-                apply_chunk(parent, worker_state, anchor_of(parent))
-                self.report.accepted += 1
+            if self._try_chunk(parent, plan, pool):
                 if plan.index > 0:
-                    nontrivial_accepts += 1
+                    nontrivial_merges += 1
                 misses = 0
                 continue
-            future = self._futures.pop(plan.index, None)
-            if future is not None:
-                future.cancel()
-            self._run_slice(parent, self._instructions(plan))
             self.report.replayed += 1
             misses += 1
             if (
                 self.speculate == "auto"
-                and nontrivial_accepts == 0
+                and nontrivial_merges == 0
                 and misses >= AUTO_BACKOFF_AFTER
             ):
-                # This machine/trace pair clearly does not quiesce at cuts;
-                # stop wasting workers and run the remainder sequentially.
+                # This machine/trace pair shows no sign of converging at
+                # cuts yet; stop feeding the pool and fall back to probing.
                 speculating = False
                 self.report.backoff_at = plan.index
                 for pending in self._futures.values():
                     pending.cancel()
                 self._futures.clear()
+                probe_at = index + 1 + REARM_PROBE_EVERY
+                probe_successes = 0
+
+    def _chunk_stop(self, index: int) -> int:
+        """Trace index one past chunk ``index``'s last instruction."""
+        cuts = self._cuts
+        return cuts[index + 1] if index + 1 < len(cuts) else len(self.trace)
+
+    def _submit_probe(self, pool: ProcessPoolExecutor | None, index: int) -> None:
+        """Pre-submit the upcoming probe chunk so its worker overlaps replay."""
+        if (
+            pool is None
+            or not self._pool_ok
+            or index >= len(self._cuts)
+            or index in self._futures
+            or index in self._prefetched
+        ):
+            return
+        plan = self._plan(index)
+        if plan is None:
+            return
+        key = self._chunk_key(plan)
+        if key is not None and self.chunk_store is not None:
+            state = self.chunk_store.get(key)
+            if state is not None:
+                self._prefetched[plan.index] = state
+                return
+        try:
+            self._futures[plan.index] = pool.submit(
+                _simulate_chunk, self._task(plan))
+        except (OSError, BrokenProcessPool):
+            self._pool_ok = False
+            return
+        self.report.speculated += 1
+
+    def _try_chunk(
+        self,
+        parent: Any,
+        plan: ChunkPlan,
+        pool: ProcessPoolExecutor | None,
+    ) -> bool:
+        """Merge one chunk if provably safe; otherwise replay it inline.
+
+        Returns ``True`` when a worker result was consumed (the parent now
+        sits at the chunk's exit boundary); ``False`` when the chunk was
+        replayed in full.  Either way the parent has advanced one chunk.
+
+        The acceptance walk: a structural-digest mismatch (the scout
+        mispredicted the entry state) demotes straight to replay; otherwise
+        the parent replays the chunk prefix and compares its envelope
+        digest against the worker's checkpoints at their recorded offsets,
+        splicing at the first reproduction whose (normalised) worker
+        horizon the parent dominates.
+        """
+        digest = structural_digest(structural_of(parent))
+        if digest != plan.entry_digest:
+            self._demote(plan)
+            self._run_slice(parent, self._instructions(plan))
+            return False
+        payload = self._obtain(plan, self._futures, pool)
+        if payload is None:
+            self._demote(plan)
+            self._run_slice(parent, self._instructions(plan))
+            return False
+        position = 0
+        for checkpoint in payload.get("checkpoints") or ():
+            offset = int(checkpoint["offset"])
+            if offset > position:
+                self._run_slice(
+                    parent,
+                    self.trace.instructions[plan.start + position:
+                                            plan.start + offset],
+                )
+                position = offset
+            envelope = envelope_of(parent)
+            if envelope is None:
+                break  # this machine cannot prove dominance: replay
+            if envelope_digest(envelope) != checkpoint["envelope"]:
+                continue
+            if int(checkpoint["horizon"]) > horizon_of(parent):
+                continue  # worker assumed more pending work than we have
+            if position == 0:
+                apply_chunk(
+                    parent, payload["state"],
+                    anchor_of(parent) - int(checkpoint["anchor"]),
+                )
+                self.report.accepted += 1
+                self.report.safe_cuts.append(plan.index)
+            else:
+                splice_chunk(parent, payload, checkpoint)
+                self.report.spliced += 1
+            return True
+        self._run_slice(
+            parent, self.trace.instructions[plan.start + position:plan.stop])
+        return False
+
+    def _demote(self, plan: ChunkPlan) -> None:
+        """Drop a chunk's in-flight worker: it will be replayed instead."""
+        future = self._futures.pop(plan.index, None)
+        if future is not None:
+            future.cancel()
 
     def _obtain(
         self,
@@ -380,7 +592,12 @@ class ChunkedSimulation:
         futures: dict[int, Future],
         pool: ProcessPoolExecutor | None,
     ) -> dict | None:
-        """Produce the worker exit state for an acceptable chunk, if possible."""
+        """Produce the worker payload for an acceptable chunk, if possible.
+
+        The payload is the worker's ``{"state", "checkpoints", "extra"}``
+        return value; cached entries hold the same shape, so envelope
+        splices work identically whether the chunk was computed or cache-fed.
+        """
         prefetched = self._prefetched.pop(plan.index, None)
         if prefetched is not None:
             self.report.cache_hits += 1
@@ -390,6 +607,7 @@ class ChunkedSimulation:
             key is not None
             and self.chunk_store is not None
             and plan.index >= self._submitted
+            and plan.index not in futures
         ):
             # not reached by the submit path (jobs=1, or the pool died):
             # consult the store directly
@@ -397,11 +615,11 @@ class ChunkedSimulation:
             if cached is not None:
                 self.report.cache_hits += 1
                 return cached
-        state: dict | None = None
+        payload: dict | None = None
         future = futures.pop(plan.index, None)
         if future is not None:
             try:
-                state = future.result()
+                payload = future.result()
             except BrokenProcessPool:
                 # lost the pool mid-run: fall back to replaying from here on
                 self._pool_ok = False
@@ -409,21 +627,22 @@ class ChunkedSimulation:
                 return None
         elif pool is None and self.speculate == "always":
             # inline speculation (tests, jobs=1): compute only on demand,
-            # i.e. only for cuts already proven safe
-            state = _simulate_chunk(self._task(plan))
+            # i.e. only for cuts whose entry prediction already checked out
+            payload = _simulate_chunk(self._task(plan))
             self.report.speculated += 1
-        if state is not None and key is not None and self.chunk_store is not None:
+        if payload is not None and key is not None and self.chunk_store is not None:
             self.chunk_store.put(
-                key, state,
+                key, payload,
                 info={
                     "point": self.point_fingerprint,
                     "chunk_size": self.chunk_size,
                     "index": plan.index,
                     "range": [plan.start, plan.stop],
                     "entry": plan.entry_digest,
+                    "envelope": plan.entry_envelope,
                 },
             )
-        return state
+        return payload
 
 
 def simulate_trace_chunked(

@@ -38,7 +38,11 @@ from repro.isa.registers import RegClass
 from repro.ooo.btb import BranchPredictor
 from repro.ooo.loadelim import LoadEliminationUnit, TagTable
 from repro.ooo.rename import PhysReg, RenameUnit
-from repro.parallel.boundary import ooo_structural, structural_digest
+from repro.parallel.boundary import (
+    ZERO_ENVELOPE_DIGEST,
+    ooo_structural,
+    structural_digest,
+)
 from repro.trace.records import DynInstr, Trace
 
 #: how far past the nominal cut index the partitioner may slide a cut
@@ -64,6 +68,11 @@ class ChunkPlan:
     #: digest of the predicted entry state, compared against the true
     #: machine at stitch time
     entry_digest: str
+    #: digest of the timing envelope the chunk worker assumes at entry —
+    #: always the zero envelope (workers start in the canonical quiescent
+    #: frame); part of the chunk-store fingerprint so envelope-accepted and
+    #: replayed results can never alias under a different assumption
+    entry_envelope: str = ZERO_ENVELOPE_DIGEST
 
 
 class StructuralScout:

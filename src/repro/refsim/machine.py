@@ -102,6 +102,29 @@ class _RegTimings(ComponentBase):
             st.ready > anchor or st.read_until > anchor for st in self.map.values()
         )
 
+    def envelope(self, anchor: int) -> list:
+        """Registers with timing still observable past ``anchor``, sorted.
+
+        Every consumption site floors at ``issue_ready`` (the anchor)
+        through ``max``, so rows whose times are all dominated are clamped
+        out — including their ``from_load`` flag, which only selects between
+        two equally dominated values.  Rows are sorted because the map's
+        insertion order is never observed.  Empty exactly when
+        :meth:`quiescent`.
+        """
+        return sorted(
+            [
+                reg.cls.value,
+                reg.index,
+                max(st.ready - anchor, 0),
+                max(st.first_result - anchor, 0),
+                bool(st.from_load),
+                max(st.read_until - anchor, 0),
+            ]
+            for reg, st in self.map.items()
+            if st.ready > anchor or st.first_result > anchor or st.read_until > anchor
+        )
+
     def absorb(self, state: list, delta: int) -> None:
         """Adopt the worker's (shifted) register timings.
 
@@ -141,6 +164,24 @@ class _UnitSet(ComponentBase):
 
     def quiescent(self, anchor: int) -> bool:
         return all(unit.free_at <= anchor for unit in self.all_units())
+
+    def envelope(self, anchor: int) -> dict:
+        """Unit busy tails past ``anchor``, plus the one relative comparison.
+
+        ``_select_compute_unit`` compares ``fu1.free_at <= fu2.free_at`` —
+        two old values against *each other*, the one site that escapes the
+        ``max(anchor, old)`` clamping.  The comparison's outcome is encoded
+        only as its violation (``fu1_gt_fu2``), so the projection stays
+        empty — matching the canonical fresh frame, which prefers FU1 —
+        exactly when the machine is quiescent at the cut.
+        """
+        env: dict = {}
+        for unit in self.all_units():
+            if unit.free_at > anchor:
+                env[unit.name] = unit.free_at - anchor
+        if self.fu1.free_at > self.fu2.free_at:
+            env["fu1_gt_fu2"] = True
+        return env
 
     def absorb(self, state: dict, delta: int) -> None:
         for unit in self.all_units():

@@ -1,0 +1,43 @@
+"""Seeded envelope-contract defects for the check-pass test corpus.
+
+``LeakyStation`` merges worker exit snapshots (``absorb``) without
+projecting its pending work — no ``envelope`` anywhere in its MRO, so a
+machine containing it silently loses envelope acceptance.
+``NoisyStation.envelope`` violates read-only-ness twice: it mutates the
+component (``self.probed``) and reaches an ambient effect
+(``os.getpid``).  The envelope-contract pass (exit bit 16) must report
+all three defects.
+"""
+
+import os
+
+
+class LeakyStation:
+    def __init__(self):
+        self.pending = []
+
+    def snapshot(self):
+        return list(self.pending)
+
+    def restore(self, state):
+        self.pending = list(state)
+
+    def reset(self):
+        self.pending = []
+
+    def absorb(self, state, delta):
+        self.pending = [cycle + delta for cycle in state]
+
+
+class NoisyStation:
+    def __init__(self):
+        self.pending = []
+        self.probed = 0
+
+    def absorb(self, state, delta):
+        self.pending = [cycle + delta for cycle in state]
+
+    def envelope(self, anchor):
+        self.probed += 1
+        tag = os.getpid()
+        return [cycle - anchor for cycle in self.pending if cycle > anchor], tag

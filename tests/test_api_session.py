@@ -301,8 +301,9 @@ class TestChunkWorkerTraceLocator:
         assert source[0] == "trace"  # a locator, not pickled instructions
         assert source[1:4] == (str(store.cache_dir), "nasa7", "small")
         # the worker resolves the locator to exactly the plan's slice
-        snapshot = _simulate_chunk(task)
-        assert snapshot["kind"] == "ref"
+        payload = _simulate_chunk(task)
+        assert payload["state"]["kind"] == "ref"
+        assert payload["checkpoints"][0]["offset"] == 0
 
     def test_inline_fallback_without_store(self):
         from repro.parallel.driver import ChunkedSimulation

@@ -33,7 +33,8 @@ class TestSimulateCommand:
         chunked = json.loads(capsys.readouterr().out)
         assert chunked["result"]["stats"] == mono["result"]["stats"]
         assert chunked["chunked"]["chunks"] >= 1
-        assert (chunked["chunked"]["accepted"] + chunked["chunked"]["replayed"]
+        assert (chunked["chunked"]["accepted"] + chunked["chunked"]["spliced"]
+                + chunked["chunked"]["replayed"]
                 == chunked["chunked"]["chunks"])
 
     def test_simulate_rejects_unknown_program(self, capsys):
@@ -113,6 +114,47 @@ class TestBenchHarness:
         }
         problems = bench.check_against_baseline(document, baseline)
         assert any("differs" in p for p in problems)
+        assert any("regressed" in p for p in problems)
+
+    def test_check_gates_cold_ratio_on_multicore_runs(self):
+        document = {
+            "host_cpus": 4, "intra_jobs": 2,
+            "results": [{
+                "workload": "w", "config": "c", "equivalent": True,
+                "wall_s": {"monolithic": 1.0, "chunked": 1.5,
+                           "chunked_warm": 0.5},
+            }],
+        }
+        baseline = {
+            "allowed_regression": {"aggregate": 1e9, "per_point": 1e9},
+            "aggregate": {}, "entries": {},
+        }
+        problems = bench.check_against_baseline(document, baseline)
+        assert any("not paying for itself" in p for p in problems)
+        # the absolute cold gate only applies when the run had parallelism
+        document["host_cpus"] = 1
+        assert bench.check_against_baseline(document, baseline) == []
+
+    def test_check_subset_run_skips_relative_aggregate_gate(self):
+        # a --programs/--configs subset has a differently-weighted aggregate
+        # than the committed full-grid baseline: gate it per point only
+        document = {
+            "results": [{
+                "workload": "w", "config": "c", "equivalent": True,
+                "wall_s": {"monolithic": 1.0, "chunked": 0.9,
+                           "chunked_warm": 0.9},
+            }],
+        }
+        baseline = {
+            "allowed_regression": {"aggregate": 0.25, "per_point": 1e9},
+            "aggregate": {"chunked_warm_over_mono": 0.5},
+            "entries": {"w/c": {"chunked_warm_over_mono": 1.0},
+                        "other/c": {"chunked_warm_over_mono": 0.4}},
+        }
+        assert bench.check_against_baseline(document, baseline) == []
+        # same ratios on the full grid do trip the aggregate gate
+        del baseline["entries"]["other/c"]
+        problems = bench.check_against_baseline(document, baseline)
         assert any("regressed" in p for p in problems)
 
     def test_check_skips_sub_threshold_walls_per_point(self):

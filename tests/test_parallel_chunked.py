@@ -71,7 +71,7 @@ class TestEquivalenceEveryWorkload:
             chunked, report = _chunked_stats(trace, config, chunk_size,
                                              kernel=kernel)
             assert chunked == mono, (workload, config.name, chunk_size, kernel)
-            assert report.accepted + report.replayed == report.chunks
+            assert report.merged() + report.replayed == report.chunks
 
     @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("config_name", CONFIG_NAMES)
@@ -114,6 +114,25 @@ class TestEquivalenceProperty:
         trace = _trace("su2cor", "tiny")
         chunked, _ = _chunked_stats(trace, config, chunk_size, kernel=kernel)
         assert chunked == _mono_stats(trace, config)
+
+    # every registered machine model (and the fully loaded OOOVA variant),
+    # arbitrary chunk sizes, both kernels: envelope-accepted chunks must be
+    # bit-identical to the monolithic pass
+    @pytest.mark.parametrize(
+        "machine", tuple(machine_names()) + ("ooo-late-sle-vle",))
+    @given(
+        chunk_size=st.integers(min_value=1, max_value=500),
+        kernel=st.sampled_from(KERNELS),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_envelope_acceptance_every_machine(self, machine, chunk_size,
+                                               kernel):
+        config = machine_config(machine)
+        trace = _trace("su2cor", "tiny")
+        chunked, report = _chunked_stats(trace, config, chunk_size,
+                                         kernel=kernel)
+        assert chunked == _mono_stats(trace, config), (machine, chunk_size)
+        assert report.merged() + report.replayed == report.chunks
 
     def test_chunk_size_one_and_trace_length(self):
         config = get_config("reference")
@@ -292,6 +311,87 @@ class TestAutoBackoffIsolation:
         assert report.backoff_at >= 0
         assert chunked == _mono_stats(trace, config)
 
+    def test_backoff_rearms_after_successful_probe(self, tmp_path,
+                                                   monkeypatch):
+        """Backoff is no longer sticky: one hostile region of a trace must
+        not disable speculation for the whole remainder of the point.
+
+        Force the first speculative merges to miss (tripping auto-backoff),
+        with a pre-seeded chunk store so the periodic probe can succeed —
+        the probe must re-arm speculation and later chunks must merge again.
+        """
+        config = get_config("reference")
+        trace = _trace("tomcatv", "small")
+        mono = _mono_stats(trace, config)
+        # seed the store so probes (and post-re-arm chunks) accept from it
+        _chunked_stats(trace, config, 150, chunk_store=ChunkStore(tmp_path),
+                       point_fingerprint="fp-rearm")
+
+        original = ChunkedSimulation._try_chunk
+
+        def deny_early(self, parent, plan, pool):
+            if 1 <= plan.index <= 2:  # a locally hostile region
+                self._demote(plan)
+                self._run_slice(parent, self._instructions(plan))
+                return False
+            return original(self, parent, plan, pool)
+
+        monkeypatch.setattr(ChunkedSimulation, "_try_chunk", deny_early)
+        chunked, report = _chunked_stats(
+            trace, config, 150, speculate="auto",
+            chunk_store=ChunkStore(tmp_path), point_fingerprint="fp-rearm")
+        assert report.backoff_at >= 0
+        assert report.rearms >= 1
+        assert report.merged() > 0  # speculation resumed after the re-arm
+        assert chunked == mono
+
+
+class TestTamperedEnvelopeRejection:
+    """A worker claim the parent cannot *prove* is never merged.
+
+    The envelope acceptance is a proof obligation, not a trust relationship:
+    a cached payload whose checkpoints mis-state the worker's pending work
+    (an envelope digest the parent never reproduces, or a horizon the
+    parent does not dominate) must demote to exact replay — and the final
+    statistics must stay bit-identical regardless.
+    """
+
+    def _tampered_run(self, tmp_path, mutate):
+        config = get_config("reference")
+        trace = _trace("tomcatv", "tiny")
+        cold, cold_report = _chunked_stats(
+            trace, config, 150, chunk_store=ChunkStore(tmp_path),
+            point_fingerprint="fp-tamper")
+        assert cold_report.merged() > 0  # the untampered point does merge
+        for path in tmp_path.glob("??/*.json"):
+            payload = json.loads(path.read_text())
+            for checkpoint in payload["state"]["checkpoints"]:
+                mutate(checkpoint)
+            path.write_text(json.dumps(payload))
+        warm, report = _chunked_stats(
+            trace, config, 150, chunk_store=ChunkStore(tmp_path),
+            point_fingerprint="fp-tamper")
+        return warm, report, _mono_stats(trace, config)
+
+    def test_understated_envelope_is_rejected(self, tmp_path):
+        # the checkpoints claim a pending-work envelope the worker did not
+        # actually have; the parent can never reproduce the fabricated
+        # digest, so every cached chunk replays
+        warm, report, mono = self._tampered_run(
+            tmp_path, lambda c: c.update(envelope="0" * 64))
+        assert warm == mono
+        assert report.merged() == 0
+        assert report.replayed == report.chunks
+
+    def test_undominated_horizon_is_rejected(self, tmp_path):
+        # correct envelopes, but the worker assumed pending work reaching
+        # further than the parent's: dominance fails, nothing merges
+        warm, report, mono = self._tampered_run(
+            tmp_path, lambda c: c.update(horizon=10**9))
+        assert warm == mono
+        assert report.merged() == 0
+        assert report.replayed == report.chunks
+
 
 class TestChunkStore:
     def test_cold_stores_then_warm_hits(self, tmp_path):
@@ -304,14 +404,14 @@ class TestChunkStore:
             trace, config, 150, chunk_store=cold_store,
             point_fingerprint="fp-x")
         assert cold == mono
-        assert cold_store.stored == cold_report.accepted > 0
+        assert cold_store.stored == cold_report.merged() > 0
 
         warm_store = ChunkStore(tmp_path)
         warm, warm_report = _chunked_stats(
             trace, config, 150, chunk_store=warm_store,
             point_fingerprint="fp-x")
         assert warm == mono
-        assert warm_report.cache_hits == cold_report.accepted
+        assert warm_report.cache_hits == cold_report.merged()
         assert warm_store.hits == warm_report.cache_hits
 
     def test_different_fingerprint_misses(self, tmp_path):
